@@ -1,0 +1,45 @@
+"""Ablation — size of the hard-fault subset used by PREPARE/MINIMIZE.
+
+Observation (1) of section 4: only the hardest faults contribute numerically
+to the objective, so each coordinate step can restrict itself to a small
+subset.  This ablation sweeps the floor on that subset (from "exactly the
+numerically relevant faults" to "half of the fault list") and reports the
+optimized test length and run time, showing the robustness/cost trade-off the
+DESIGN.md discusses.
+"""
+
+import pytest
+
+from repro.circuits import c7552_like
+from repro.core import WeightOptimizer
+from repro.experiments import format_table
+from repro.faults import collapsed_fault_list
+
+
+def _optimize(min_fraction):
+    circuit = c7552_like(width=12, n_blocks=1)
+    faults = collapsed_fault_list(circuit)
+    optimizer = WeightOptimizer(
+        circuit,
+        faults=faults,
+        max_sweeps=6,
+        min_hard_fraction=min_fraction,
+        min_hard_faults=1,
+    )
+    return optimizer.optimize()
+
+
+@pytest.mark.benchmark(group="ablation-hard-faults")
+@pytest.mark.parametrize("min_fraction", [0.0, 0.1, 0.25, 0.5])
+def test_ablation_hard_fault_subset(benchmark, pedantic_kwargs, min_fraction):
+    result = benchmark.pedantic(_optimize, args=(min_fraction,), **pedantic_kwargs)
+    print()
+    print(
+        format_table(
+            ["hard-fault floor", "initial N", "optimized N", "sweeps", "seconds"],
+            [[f"{min_fraction:.0%}", f"{result.initial_test_length:,}",
+              f"{result.test_length:,}", result.sweeps, f"{result.cpu_seconds:.2f}"]],
+            title="Ablation: hard-fault subset floor (c7552-like)",
+        )
+    )
+    assert result.test_length <= result.initial_test_length

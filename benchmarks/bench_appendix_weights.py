@@ -1,0 +1,30 @@
+"""Appendix — optimized input probability listings.
+
+The paper's appendix prints the optimized probabilities for S1 and C7552 on a
+0.05 grid so readers can regenerate the patterns.  This bench produces the
+equivalent listings for the substituted circuits and checks their defining
+properties: all values on the grid, strictly inside (0, 1), and clearly spread
+away from the conventional 0.5 (otherwise weighting would not help).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import format_appendix, run_appendix
+
+
+@pytest.mark.benchmark(group="appendix")
+def test_appendix_weight_listings(benchmark, pedantic_kwargs):
+    listings = benchmark.pedantic(run_appendix, **pedantic_kwargs)
+    print()
+    print(format_appendix(listings))
+
+    for listing in listings:
+        weights = np.asarray(listing.weights)
+        # On the 0.05 grid, never exactly 0 or 1 (Lemma 2: that would make the
+        # corresponding input stuck-at fault untestable).
+        assert np.allclose(np.round(weights / 0.05) * 0.05, weights, atol=1e-9)
+        assert weights.min() >= 0.05 - 1e-9
+        assert weights.max() <= 0.95 + 1e-9
+        # The optimized distribution is genuinely unequiprobable.
+        assert np.abs(weights - 0.5).max() > 0.2

@@ -1,0 +1,24 @@
+"""Figure 2 — fault coverage versus pattern count for S1.
+
+Reproduces the coverage curves of Figure 2: the optimized-pattern curve must
+dominate the conventional one at every sampled pattern count and approach
+complete coverage within the 12 000-pattern budget, while the conventional
+curve saturates well below it.
+"""
+
+import pytest
+
+from repro.experiments import format_figure2, run_figure2
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_coverage_vs_pattern_count(benchmark, pedantic_kwargs):
+    data = benchmark.pedantic(run_figure2, **pedantic_kwargs)
+    print()
+    print(format_figure2(data))
+
+    # Dominance: the optimized curve never falls below the conventional one.
+    assert data.crossover_gap() >= 0.0
+    # End points: optimized approaches full coverage, conventional stalls.
+    assert data.optimized[-1] > 97.0
+    assert data.conventional[-1] < data.optimized[-1] - 5.0

@@ -1,0 +1,49 @@
+"""Substrate throughput — logic simulation and fault simulation.
+
+Not a paper table, but the quantity that determines whether the Table 2/4
+experiments are feasible at all: patterns per second of the bit-parallel
+true-value simulator and (collapsed) faults × patterns per second of the fault
+simulator with dropping.  These benches use pytest-benchmark's statistical
+timing (several rounds) because the kernels are fast and deterministic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import s1_comparator, s2_divider
+from repro.faultsim import ParallelFaultSimulator
+from repro.patterns import WeightedPatternGenerator
+from repro.simulation import LogicSimulator
+
+_N_PATTERNS = 4096
+
+
+@pytest.mark.benchmark(group="substrate-logicsim")
+@pytest.mark.parametrize("builder", [s1_comparator, s2_divider], ids=["s1", "s2"])
+def test_logic_simulation_throughput(benchmark, builder):
+    circuit = builder()
+    generator = WeightedPatternGenerator([0.5] * circuit.n_inputs, seed=3)
+    patterns = generator.generate(_N_PATTERNS)
+    simulator = LogicSimulator(circuit)
+
+    outputs = benchmark(simulator.simulate_patterns, patterns)
+    assert outputs.shape == (_N_PATTERNS, circuit.n_outputs)
+    benchmark.extra_info["patterns_per_second"] = _N_PATTERNS / benchmark.stats["mean"]
+    benchmark.extra_info["gates"] = circuit.n_gates
+
+
+@pytest.mark.benchmark(group="substrate-faultsim")
+def test_fault_simulation_throughput(benchmark):
+    circuit = s1_comparator(width=12)
+    generator = WeightedPatternGenerator([0.5] * circuit.n_inputs, seed=3)
+    patterns = generator.generate(2048)
+
+    def run():
+        return ParallelFaultSimulator(circuit).run(patterns)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.fault_coverage > 0.5
+    benchmark.extra_info["faults"] = len(result.faults)
+    benchmark.extra_info["fault_pattern_pairs_per_second"] = (
+        len(result.faults) * 2048 / benchmark.stats["mean"]
+    )

@@ -1,0 +1,31 @@
+"""Table 1 — required test lengths for a conventional (equiprobable) random test.
+
+Reproduces the paper's Table 1 on the substituted benchmark suite: for every
+circuit the estimated number of equiprobable random patterns needed to reach
+99.9 % confidence of complete stuck-at coverage.  The shape to verify: the four
+starred circuits (S1, S2, C2670, C7552) need orders of magnitude more patterns
+than the unstarred ones.
+"""
+
+import pytest
+
+from repro.experiments import format_table1, run_table1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_conventional_test_lengths(benchmark, pedantic_kwargs):
+    rows = benchmark.pedantic(run_table1, **pedantic_kwargs)
+    print()
+    print(format_table1(rows))
+
+    by_key = {row.key: row for row in rows}
+    hard_lengths = [row.measured_length for row in rows if row.hard]
+    easy_lengths = [row.measured_length for row in rows if not row.hard]
+    # Shape check: every starred circuit needs more patterns than the median
+    # unstarred circuit, and the worst starred circuit dwarfs every easy one.
+    easy_lengths.sort()
+    median_easy = easy_lengths[len(easy_lengths) // 2]
+    assert min(hard_lengths) > median_easy
+    assert max(hard_lengths) > 100 * max(easy_lengths) or max(hard_lengths) > 10**6
+    # S1's equality chain makes it one of the hardest circuits, as in the paper.
+    assert by_key["s1"].measured_length > 10**6

@@ -1,0 +1,33 @@
+"""Table 4 — fault coverage of optimized random patterns (fault simulation).
+
+The companion to Table 2: the same pattern budgets, but the patterns are drawn
+from the optimized distributions of Table 3.  The shape to verify: coverage
+rises sharply on every starred circuit compared to the conventional test
+(paper: 77-94 % -> 98.9-99.7 %).
+"""
+
+import pytest
+
+from repro.experiments import format_table2, format_table4, run_table2, run_table4
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_optimized_coverage(benchmark, pedantic_kwargs):
+    conventional = {row.key: row for row in run_table2()}
+    rows = benchmark.pedantic(run_table4, **pedantic_kwargs)
+    print()
+    print(format_table4(rows))
+    print()
+    print("(conventional reference)")
+    print(format_table2(list(conventional.values())))
+
+    for row in rows:
+        baseline = conventional[row.key]
+        # Optimized patterns must detect strictly more faults, mirroring the
+        # Table 2 -> Table 4 improvement.
+        assert row.measured_coverage > baseline.measured_coverage, row
+        assert row.n_undetected < baseline.n_undetected, row
+    # The paper reaches 98.9-99.7 % on all four circuits; the substituted suite
+    # reaches that on at least three of them.  The scaled-down divider (S2) is
+    # the documented exception — see EXPERIMENTS.md, "Table 4" deviation note.
+    assert sum(row.measured_coverage >= 98.0 for row in rows) >= 3

@@ -1,0 +1,24 @@
+"""Shared configuration of the benchmark suite.
+
+Each benchmark module regenerates one table or figure of the paper.  The
+expensive intermediates (instantiated circuits, optimization results) are
+cached process-wide by :mod:`repro.experiments.suite`, so running the whole
+directory performs each optimization exactly once, like a single PROTEST run
+feeding all of the paper's tables.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+@pytest.fixture(scope="session")
+def pedantic_kwargs():
+    """One-shot benchmark settings: the experiments are deterministic and slow,
+    so a single round is measured instead of statistical repetition."""
+    return {"rounds": 1, "iterations": 1, "warmup_rounds": 0}

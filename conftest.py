@@ -1,0 +1,16 @@
+"""Pytest root configuration.
+
+Ensures the ``src`` layout is importable even when the package has not been
+installed (e.g. a fresh clone in an offline environment where
+``pip install -e .`` needs ``--no-build-isolation``).  When the package *is*
+installed this is a harmless no-op because the installed distribution takes
+precedence only if it appears earlier on ``sys.path``; either way the same
+source tree is imported.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

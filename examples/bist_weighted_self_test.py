@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Weighted-random built-in self test (BIST) end to end.
+
+Section 5.2 of the paper: the main application of optimized input
+probabilities is self test — an on-chip LFSR generates the (weighted) patterns
+and a signature register compacts the responses; only the final signature is
+compared against the fault-free value.
+
+This example models that flow for the S1 comparator:
+
+1. optimize the input probabilities,
+2. quantize them to the grid realisable by a 5-bit LFSR weighting network,
+3. run a BILBO-style self-test session and record the golden signature,
+4. inject the hardest stuck-at fault and show that the weighted session's
+   signature differs (fault detected) while a much longer unweighted session
+   misses the fault entirely.
+
+Run with ``python examples/bist_weighted_self_test.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    CopDetectionEstimator,
+    SelfTestSession,
+    collapsed_fault_list,
+    optimize_input_probabilities,
+    s1_comparator,
+)
+from repro.core import quantize_to_lfsr_grid
+from repro.patterns import LfsrWeightedPatternGenerator, self_test_detects_fault
+
+
+def main(width: int = 10, n_patterns: int = 2_000) -> None:
+    circuit = s1_comparator(width=width)
+    faults = collapsed_fault_list(circuit)
+    print(f"Circuit under test    : {circuit.summary()}")
+
+    # Find the hardest fault under conventional random patterns.
+    estimator = CopDetectionEstimator()
+    probs = estimator.detection_probabilities(circuit, faults, [0.5] * circuit.n_inputs)
+    hardest = faults[int(np.argmin(probs))]
+    print(f"Hardest fault         : {hardest.describe(circuit)} "
+          f"(detection probability {probs.min():.2e} under equiprobable patterns)")
+
+    # Optimize and map the weights onto a hardware weighting network grid.
+    result = optimize_input_probabilities(circuit, faults=faults)
+    lfsr_weights = quantize_to_lfsr_grid(result.weights, resolution=5)
+    generator = LfsrWeightedPatternGenerator(lfsr_weights, resolution=5)
+    print(f"Optimized test length : ~{result.test_length:,} patterns")
+    print("Realised LFSR weights :",
+          np.array2string(generator.realized_weights(), precision=3, separator=", "))
+
+    # Golden signature of the weighted self-test session.
+    session = SelfTestSession(circuit, n_patterns, weights=lfsr_weights, seed=42)
+    golden = session.golden_signature()
+    print(f"Golden signature      : 0x{golden:08x} ({n_patterns:,} weighted patterns)")
+
+    # The weighted session exposes the hardest fault ...
+    report = session.run(fault=hardest)
+    print(f"Weighted self test    : signature 0x{report.signature:08x} -> "
+          f"{'FAULT DETECTED' if not report.passed else 'fault missed'}")
+
+    # ... while an unweighted session of the same length misses it.
+    detected_plain = self_test_detects_fault(circuit, hardest, n_patterns, weights=None, seed=42)
+    print(f"Unweighted self test  : {n_patterns:,} equiprobable patterns -> "
+          f"{'fault detected' if detected_plain else 'FAULT MISSED'}")
+
+
+if __name__ == "__main__":
+    main()

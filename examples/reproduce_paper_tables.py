@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper in one run.
+
+This drives the experiment runners in :mod:`repro.experiments` back to back
+and prints the reproduction of Tables 1-5, Figure 2 and the appendix weight
+listings, each with the paper's published numbers alongside the measured ones.
+The same runners back the pytest-benchmark suite in ``benchmarks/``; this
+script is the "just show me everything" entry point.
+
+Run with ``python examples/reproduce_paper_tables.py``; expect a few minutes
+(the dominant cost is fault-simulating 12 000 patterns on the divider twice).
+Pass ``--quick`` to skip the fault-simulation tables (2, 4 and Figure 2).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import (
+    format_appendix,
+    format_figure2,
+    format_table1,
+    format_table2,
+    format_table3,
+    format_table4,
+    format_table5,
+    run_appendix,
+    run_figure2,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+
+
+def _timed(label: str, runner, formatter) -> None:
+    start = time.perf_counter()
+    rows = runner()
+    print(formatter(rows))
+    print(f"[{label} regenerated in {time.perf_counter() - start:.1f} s]")
+    print()
+
+
+def main(quick: bool = False) -> None:
+    _timed("Table 1", run_table1, format_table1)
+    if not quick:
+        _timed("Table 2", run_table2, format_table2)
+    _timed("Table 3", run_table3, format_table3)
+    if not quick:
+        _timed("Table 4", run_table4, format_table4)
+    _timed("Table 5", run_table5, format_table5)
+    if not quick:
+        _timed("Figure 2", run_figure2, format_figure2)
+    _timed("Appendix", run_appendix, format_appendix)
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv[1:])

@@ -1,0 +1,112 @@
+"""repro — weighted (optimized-probability) random test generation.
+
+Reproduction of Hans-Joachim Wunderlich, *On Computing Optimized Input
+Probabilities for Random Tests*, DAC 1987.
+
+The package is organised by subsystem:
+
+* :mod:`repro.circuit` — gate-level netlists, builder, ``.bench`` I/O.
+* :mod:`repro.circuits` — benchmark circuit generators (S1 comparator, divider,
+  ISCAS-like workloads).
+* :mod:`repro.simulation` — bit-parallel and reference true-value simulation.
+* :mod:`repro.faults` / :mod:`repro.faultsim` — stuck-at fault model, fault
+  collapsing and fault simulation.
+* :mod:`repro.analysis` — signal probabilities, observabilities and detection
+  probability estimation (PROTEST's role).
+* :mod:`repro.core` — the paper's contribution: the objective function, the
+  test-length computation and the per-input probability optimization.
+* :mod:`repro.patterns` — LFSR/MISR/BILBO and weighted pattern generation.
+* :mod:`repro.experiments` — runners that regenerate every table and figure.
+
+Typical use::
+
+    from repro import optimize_input_probabilities, s1_comparator
+
+    circuit = s1_comparator()
+    result = optimize_input_probabilities(circuit, confidence=0.999)
+    print(result.test_length, result.weight_map)
+"""
+
+from .circuit import Circuit, CircuitBuilder, GateType, parse_bench, write_bench
+from .circuits import (
+    alu_circuit,
+    array_multiplier_circuit,
+    build_circuit,
+    comparator_circuit,
+    divider_circuit,
+    ecc_decoder_circuit,
+    hard_suite,
+    paper_suite,
+    resistant_circuit,
+    ripple_adder_circuit,
+    s1_comparator,
+    s2_divider,
+)
+from .faults import Fault, collapsed_fault_list, full_fault_list
+from .faultsim import ParallelFaultSimulator, random_pattern_coverage
+from .analysis import (
+    CopDetectionEstimator,
+    MonteCarloDetectionEstimator,
+    StafanDetectionEstimator,
+    detection_probabilities,
+    signal_probabilities,
+)
+from .core import (
+    OptimizationResult,
+    WeightOptimizer,
+    optimize_input_probabilities,
+    optimize_partitioned,
+    quantize_weights,
+    required_test_length,
+)
+from .patterns import (
+    LFSR,
+    MISR,
+    LfsrWeightedPatternGenerator,
+    SelfTestSession,
+    WeightedPatternGenerator,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Circuit",
+    "CircuitBuilder",
+    "GateType",
+    "parse_bench",
+    "write_bench",
+    "s1_comparator",
+    "s2_divider",
+    "comparator_circuit",
+    "divider_circuit",
+    "alu_circuit",
+    "array_multiplier_circuit",
+    "ecc_decoder_circuit",
+    "resistant_circuit",
+    "ripple_adder_circuit",
+    "build_circuit",
+    "paper_suite",
+    "hard_suite",
+    "Fault",
+    "full_fault_list",
+    "collapsed_fault_list",
+    "ParallelFaultSimulator",
+    "random_pattern_coverage",
+    "signal_probabilities",
+    "detection_probabilities",
+    "CopDetectionEstimator",
+    "MonteCarloDetectionEstimator",
+    "StafanDetectionEstimator",
+    "OptimizationResult",
+    "WeightOptimizer",
+    "optimize_input_probabilities",
+    "optimize_partitioned",
+    "quantize_weights",
+    "required_test_length",
+    "LFSR",
+    "MISR",
+    "WeightedPatternGenerator",
+    "LfsrWeightedPatternGenerator",
+    "SelfTestSession",
+]

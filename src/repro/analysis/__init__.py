@@ -1,0 +1,41 @@
+"""Testability analysis: signal probabilities, observabilities and detection
+probability estimation (the role PROTEST plays in the paper)."""
+
+from .signal_prob import input_probability_vector, signal_probabilities, signal_probability
+from .observability import ObservabilityResult, observabilities
+from .detection import (
+    CopDetectionEstimator,
+    DetectionProbabilityEstimator,
+    detection_probabilities,
+)
+from .exact import (
+    ExactDetectionEstimator,
+    exact_detection_probability,
+    exact_signal_probability,
+)
+from .cutting import bounds_for_net, probability_bounds
+from .stafan import StafanDetectionEstimator, measured_signal_probabilities
+from .montecarlo import MonteCarloDetectionEstimator
+from .redundancy import estimated_redundant_faults, proven_redundant, remove_redundant
+
+__all__ = [
+    "input_probability_vector",
+    "signal_probabilities",
+    "signal_probability",
+    "ObservabilityResult",
+    "observabilities",
+    "DetectionProbabilityEstimator",
+    "CopDetectionEstimator",
+    "detection_probabilities",
+    "ExactDetectionEstimator",
+    "exact_signal_probability",
+    "exact_detection_probability",
+    "probability_bounds",
+    "bounds_for_net",
+    "StafanDetectionEstimator",
+    "measured_signal_probabilities",
+    "MonteCarloDetectionEstimator",
+    "estimated_redundant_faults",
+    "proven_redundant",
+    "remove_redundant",
+]

@@ -1,0 +1,124 @@
+"""The cutting algorithm: interval bounds on signal probabilities.
+
+Savir's cutting algorithm ([BDS84] in the paper's reference list) handles the
+correlation introduced by reconvergent fan-out by *cutting* fan-out branches
+until the remaining network is a tree: a cut branch no longer carries its
+computed probability but the whole interval ``[0, 1]``, and interval
+arithmetic propagated through the tree yields guaranteed lower/upper bounds on
+every signal probability.  The true (Parker–McCluskey) value always lies inside
+the returned interval, which the property tests exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit.gates import GateType
+from ..circuit.netlist import Circuit
+from .signal_prob import input_probability_vector
+
+__all__ = ["probability_bounds", "bounds_for_net"]
+
+
+def probability_bounds(
+    circuit: Circuit,
+    input_probs: Sequence[float] | float = 0.5,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Lower and upper bounds on the signal probability of every net.
+
+    XOR/XNOR gates are first expanded into AND/OR/NOT (Savir defines the
+    algorithm on such networks; a parity gate over correlated signals would
+    otherwise yield unsound intervals).  Then every fan-out branch except the
+    first of each multi-fan-out stem is cut, which makes the propagation graph
+    a tree (sufficient, though not minimal — a minimal cut set would give
+    tighter bounds but requires solving an NP-hard problem itself).
+
+    Returns:
+        ``(lower, upper)`` arrays of length ``circuit.n_nets`` (of the original
+        circuit; helper nets introduced by the expansion are not reported).
+    """
+    from ..circuit.transforms import expand_xor
+
+    original_n_nets = circuit.n_nets
+    vector = input_probability_vector(circuit, input_probs)
+    circuit = expand_xor(circuit)
+    lower = np.zeros(circuit.n_nets, dtype=float)
+    upper = np.ones(circuit.n_nets, dtype=float)
+    for idx, net in enumerate(circuit.inputs):
+        lower[net] = upper[net] = vector[idx]
+
+    # Which (gate, input position) pairs read a cut branch.
+    cut_pins = _cut_pins(circuit)
+
+    for gi, gate in enumerate(circuit.gates):
+        intervals = []
+        for position, src in enumerate(gate.inputs):
+            if (gi, position) in cut_pins:
+                intervals.append((0.0, 1.0))
+            else:
+                intervals.append((lower[src], upper[src]))
+        lo, hi = _gate_interval(gate.gate_type, intervals)
+        lower[gate.output] = lo
+        upper[gate.output] = hi
+    return lower[:original_n_nets], upper[:original_n_nets]
+
+
+def bounds_for_net(
+    circuit: Circuit,
+    net: int | str,
+    input_probs: Sequence[float] | float = 0.5,
+) -> Tuple[float, float]:
+    """Bounds for a single (possibly named) net."""
+    if isinstance(net, str):
+        net = circuit.net_index(net)
+    lower, upper = probability_bounds(circuit, input_probs)
+    return float(lower[net]), float(upper[net])
+
+
+def _cut_pins(circuit: Circuit) -> set:
+    """Pins that read the second and later branches of multi-fan-out stems."""
+    cut = set()
+    seen_first: Dict[int, bool] = {}
+    for gi, gate in enumerate(circuit.gates):
+        for position, src in enumerate(gate.inputs):
+            if len(circuit.fanout_gates(src)) <= 1:
+                continue
+            if seen_first.get(src):
+                cut.add((gi, position))
+            else:
+                seen_first[src] = True
+    return cut
+
+
+def _gate_interval(gate_type: GateType, intervals) -> Tuple[float, float]:
+    """Propagate probability intervals through one gate.
+
+    AND/OR/NOT and their complements are monotone in each argument, so the
+    bounds follow from evaluating the embedding at the interval endpoints.
+    XOR/XNOR are multilinear but not monotone; the extremes still occur at
+    corner points, so all corners of the (typically 2-input) box are evaluated.
+    """
+    from ..circuit.gates import eval_probability
+
+    if gate_type in (GateType.CONST0,):
+        return 0.0, 0.0
+    if gate_type in (GateType.CONST1,):
+        return 1.0, 1.0
+    if gate_type in (GateType.AND, GateType.OR, GateType.BUF):
+        lo = eval_probability(gate_type, [i[0] for i in intervals])
+        hi = eval_probability(gate_type, [i[1] for i in intervals])
+        return lo, hi
+    if gate_type in (GateType.NAND, GateType.NOR, GateType.NOT):
+        # Anti-monotone: swap endpoints.
+        lo = eval_probability(gate_type, [i[1] for i in intervals])
+        hi = eval_probability(gate_type, [i[0] for i in intervals])
+        return lo, hi
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        corners = [[]]
+        for lo_i, hi_i in intervals:
+            corners = [c + [v] for c in corners for v in ((lo_i,) if lo_i == hi_i else (lo_i, hi_i))]
+        values = [eval_probability(gate_type, corner) for corner in corners]
+        return min(values), max(values)
+    raise ValueError(f"unknown gate type: {gate_type!r}")

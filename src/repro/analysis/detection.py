@@ -1,0 +1,126 @@
+"""Fault detection probability estimation (the PROTEST role).
+
+The optimization procedure of the paper "assumes that there is a tool
+available computing or estimating fault detection probabilities efficiently"
+(section 1) — PROTEST in the paper, "but with slight modifications PREDICT or
+STAFAN will presumably work as well".  This module defines that contract as
+the :class:`DetectionProbabilityEstimator` protocol and implements the default
+COP-based estimator:
+
+    ``p_f(X) = P(activation) * P(observation)``
+
+where the activation probability of a stuck-at-v fault is the probability that
+the fault site carries ``not v`` and the observation probability is the COP
+observability of the fault site (per-pin observability for branch faults).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from ..circuit.netlist import Circuit
+from ..faults.model import Fault
+from .observability import observabilities
+from .signal_prob import input_probability_vector, signal_probabilities
+
+__all__ = [
+    "DetectionProbabilityEstimator",
+    "CopDetectionEstimator",
+    "detection_probabilities",
+]
+
+
+@runtime_checkable
+class DetectionProbabilityEstimator(Protocol):
+    """Anything that can estimate ``p_f(X)`` for a list of faults.
+
+    Implementations in this package: :class:`CopDetectionEstimator` (analytic,
+    PROTEST's role), :class:`~repro.analysis.montecarlo.MonteCarloDetectionEstimator`
+    (fault-simulation sampling) and
+    :class:`~repro.analysis.stafan.StafanDetectionEstimator` (counting during
+    true-value simulation).
+    """
+
+    def detection_probabilities(
+        self,
+        circuit: Circuit,
+        faults: Sequence[Fault],
+        input_probs: Sequence[float],
+    ) -> np.ndarray:
+        """Return one detection probability per fault, in fault order."""
+        ...  # pragma: no cover
+
+
+class CopDetectionEstimator:
+    """Analytic detection-probability estimator (controllability × observability).
+
+    This is the stand-in for PROTEST: a single forward pass computes signal
+    probabilities under the independence assumption, a single backward pass
+    computes net and pin observabilities, and each stuck-at fault's detection
+    probability is the product of its activation probability and the
+    observability of its site.
+
+    Args:
+        clamp: probabilities are clamped to ``[clamp, 1]`` *only when the
+            activation and observability are both non-zero*; exact zeros are
+            preserved because PROTEST treats an exact 0/1 signal probability as
+            a proof of redundancy (section 1).
+    """
+
+    def __init__(self, clamp: float = 0.0):
+        if clamp < 0.0 or clamp >= 1.0:
+            raise ValueError("clamp must lie in [0, 1)")
+        self.clamp = clamp
+
+    def detection_probabilities(
+        self,
+        circuit: Circuit,
+        faults: Sequence[Fault],
+        input_probs: Sequence[float],
+    ) -> np.ndarray:
+        probs = signal_probabilities(circuit, input_probs)
+        obs = observabilities(circuit, probs)
+        result = np.zeros(len(faults), dtype=float)
+        pin_position = _pin_position_table(circuit)
+        for fi, fault in enumerate(faults):
+            activation = (1.0 - probs[fault.net]) if fault.stuck_value else probs[fault.net]
+            if fault.is_stem:
+                observation = obs.net[fault.net]
+            else:
+                position = pin_position[(fault.gate, fault.net)]
+                observation = obs.pin[(fault.gate, position)]
+            value = activation * observation
+            if value > 0.0 and self.clamp:
+                value = max(value, self.clamp)
+            result[fi] = value
+        return result
+
+
+def _pin_position_table(circuit: Circuit) -> dict:
+    """Map ``(gate index, source net) -> input position`` (first occurrence)."""
+    table = {}
+    for gi, gate in enumerate(circuit.gates):
+        for position, src in enumerate(gate.inputs):
+            table.setdefault((gi, src), position)
+    return table
+
+
+def detection_probabilities(
+    circuit: Circuit,
+    faults: Sequence[Fault],
+    input_probs: Sequence[float] | float = 0.5,
+    estimator: Optional[DetectionProbabilityEstimator] = None,
+) -> np.ndarray:
+    """Convenience wrapper: estimate ``p_f(X)`` for a fault list.
+
+    Args:
+        circuit: circuit under analysis.
+        faults: faults of interest.
+        input_probs: the tuple ``X`` (scalar, sequence or name mapping).
+        estimator: estimation backend; defaults to :class:`CopDetectionEstimator`.
+    """
+    vector = input_probability_vector(circuit, input_probs)
+    backend = estimator if estimator is not None else CopDetectionEstimator()
+    return backend.detection_probabilities(circuit, faults, vector)

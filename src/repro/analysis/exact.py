@@ -1,0 +1,123 @@
+"""Exact signal and detection probabilities by weighted enumeration.
+
+Parker and McCluskey solved the exact signal-probability problem for general
+networks, but the procedure is exponential (the paper, section 1).  For small
+circuits — and for the small cones the test suite uses to validate the COP
+estimator — exact values can be computed by enumerating the input space of the
+relevant support and weighting every minterm with its probability under ``X``.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Sequence
+
+import numpy as np
+
+from ..circuit.netlist import Circuit
+from ..faults.model import Fault
+from ..faultsim.serial import simulate_with_fault
+from ..simulation.eventsim import evaluate
+from .signal_prob import input_probability_vector
+
+__all__ = [
+    "exact_signal_probability",
+    "exact_detection_probability",
+    "ExactDetectionEstimator",
+    "MAX_EXACT_INPUTS",
+]
+
+#: Refuse exact enumeration beyond this many support inputs.
+MAX_EXACT_INPUTS = 22
+
+
+def _check_size(n_support: int) -> None:
+    if n_support > MAX_EXACT_INPUTS:
+        raise ValueError(
+            f"exact enumeration over {n_support} inputs refused "
+            f"(limit {MAX_EXACT_INPUTS}); use an estimator instead"
+        )
+
+
+def exact_signal_probability(
+    circuit: Circuit,
+    net: int | str,
+    input_probs: Sequence[float] | float = 0.5,
+) -> float:
+    """Exact probability that ``net`` carries a 1 under ``X``.
+
+    Only the support inputs of the net are enumerated, so circuits may be large
+    as long as the individual cone is small.
+    """
+    if isinstance(net, str):
+        net = circuit.net_index(net)
+    vector = input_probability_vector(circuit, input_probs)
+    support = circuit.support_inputs(net)
+    _check_size(len(support))
+    position = {pi: idx for idx, pi in enumerate(circuit.inputs)}
+    other_inputs = [pi for pi in circuit.inputs if pi not in set(support)]
+
+    total = 0.0
+    for assignment in product((False, True), repeat=len(support)):
+        weight = 1.0
+        values = {}
+        for pi, bit in zip(support, assignment):
+            p = vector[position[pi]]
+            weight *= p if bit else 1.0 - p
+            values[pi] = bit
+        if weight == 0.0:
+            continue
+        pattern = [values.get(pi, False) for pi in circuit.inputs]
+        if evaluate(circuit, pattern)[net]:
+            total += weight
+    # Inputs outside the support do not influence the net, so no correction is
+    # needed for `other_inputs`.
+    del other_inputs
+    return total
+
+
+def exact_detection_probability(
+    circuit: Circuit,
+    fault: Fault,
+    input_probs: Sequence[float] | float = 0.5,
+) -> float:
+    """Exact detection probability of a single stuck-at fault under ``X``.
+
+    Enumerates the full primary-input space, so only intended for circuits with
+    at most :data:`MAX_EXACT_INPUTS` inputs (reference values in tests,
+    redundancy proofs for small blocks).
+    """
+    _check_size(circuit.n_inputs)
+    vector = input_probability_vector(circuit, input_probs)
+    total = 0.0
+    for assignment in product((False, True), repeat=circuit.n_inputs):
+        weight = 1.0
+        for bit, p in zip(assignment, vector):
+            weight *= p if bit else 1.0 - p
+        if weight == 0.0:
+            continue
+        good = evaluate(circuit, assignment)
+        bad = simulate_with_fault(circuit, fault, assignment)
+        if any(good[out] != bad[out] for out in circuit.outputs):
+            total += weight
+    return total
+
+
+class ExactDetectionEstimator:
+    """Exact estimator conforming to the
+    :class:`~repro.analysis.detection.DetectionProbabilityEstimator` protocol.
+
+    Exponential in the number of primary inputs; use only on small circuits
+    (reference results, unit tests, redundancy proofs).
+    """
+
+    def detection_probabilities(
+        self,
+        circuit: Circuit,
+        faults: Sequence[Fault],
+        input_probs: Sequence[float],
+    ) -> np.ndarray:
+        return np.asarray(
+            [exact_detection_probability(circuit, fault, input_probs) for fault in faults],
+            dtype=float,
+        )

@@ -1,0 +1,111 @@
+"""Observability propagation (COP backward pass).
+
+The detection probability of a stuck-at fault factors into an *activation*
+probability (the fault site carries the opposite value) and an *observability*
+(the fault effect propagates to some primary output).  This module computes
+per-net and per-pin observabilities by the classical COP backward rules, using
+the signal probabilities of :mod:`repro.analysis.signal_prob` for the side
+inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..circuit.gates import GateType
+from ..circuit.netlist import Circuit
+
+__all__ = ["ObservabilityResult", "observabilities"]
+
+
+@dataclass
+class ObservabilityResult:
+    """Observabilities of all nets and of all gate input pins.
+
+    Attributes:
+        net: array, probability that a value change on the net is observed at
+            some primary output.
+        pin: maps ``(gate index, input position)`` to the observability of that
+            specific gate input pin (needed for branch faults on fan-out
+            stems).
+    """
+
+    net: np.ndarray
+    pin: Dict[Tuple[int, int], float]
+
+
+def observabilities(circuit: Circuit, signal_probs: np.ndarray) -> ObservabilityResult:
+    """COP observability of every net and every gate input pin.
+
+    Args:
+        circuit: the network.
+        signal_probs: signal probability per net (forward COP pass).
+
+    The backward rules per gate type (``O_out`` is the observability of the
+    gate output, ``p_k`` the signal probabilities of the side inputs):
+
+    * AND / NAND: ``O_in = O_out * prod(p_k)``  (side inputs must be 1)
+    * OR / NOR:   ``O_in = O_out * prod(1 - p_k)``  (side inputs must be 0)
+    * XOR / XNOR: ``O_in = O_out``  (every input change toggles the output)
+    * NOT / BUF:  ``O_in = O_out``
+
+    A fan-out stem combines its branch observabilities under the independence
+    assumption: ``O_stem = 1 - prod(1 - O_branch)``; a primary output has
+    observability 1.
+    """
+    n = circuit.n_nets
+    if signal_probs.shape != (n,):
+        raise ValueError("signal_probs must have one entry per net")
+
+    net_obs = np.zeros(n, dtype=float)
+    pin_obs: Dict[Tuple[int, int], float] = {}
+    output_set = set(circuit.outputs)
+
+    # "miss" probability: 1 - O, accumulated multiplicatively over all
+    # observation paths of a net (branches and direct primary-output use).
+    miss = np.ones(n, dtype=float)
+    for out in output_set:
+        miss[out] = 0.0
+
+    # Process gates in reverse topological order so that a gate's output
+    # observability is final before its input pins are computed (every consumer
+    # of the output has a higher gate index and was already visited).
+    for gi in range(circuit.n_gates - 1, -1, -1):
+        gate = circuit.gates[gi]
+        out_obs = 1.0 - miss[gate.output]
+        for position, src in enumerate(gate.inputs):
+            obs = _pin_observability(gate.gate_type, position, gate.inputs, signal_probs, out_obs)
+            pin_obs[(gi, position)] = obs
+            miss[src] *= 1.0 - obs
+
+    net_obs = 1.0 - miss
+    return ObservabilityResult(net=net_obs, pin=pin_obs)
+
+
+def _pin_observability(
+    gate_type: GateType,
+    position: int,
+    inputs: Tuple[int, ...],
+    signal_probs: np.ndarray,
+    out_obs: float,
+) -> float:
+    if gate_type in (GateType.AND, GateType.NAND):
+        factor = 1.0
+        for k, src in enumerate(inputs):
+            if k != position:
+                factor *= signal_probs[src]
+        return out_obs * factor
+    if gate_type in (GateType.OR, GateType.NOR):
+        factor = 1.0
+        for k, src in enumerate(inputs):
+            if k != position:
+                factor *= 1.0 - signal_probs[src]
+        return out_obs * factor
+    if gate_type in (GateType.XOR, GateType.XNOR, GateType.NOT, GateType.BUF):
+        return out_obs
+    if gate_type in (GateType.CONST0, GateType.CONST1):
+        return 0.0
+    raise ValueError(f"unknown gate type: {gate_type!r}")

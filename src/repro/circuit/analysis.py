@@ -1,0 +1,151 @@
+"""Structural analysis of combinational networks.
+
+The optimization problem of the paper is driven by structure: reconvergent
+fan-out creates signal correlation (which is why exact probability computation
+is NP-hard, section 1) and wide AND/OR cones create random-pattern-resistant
+faults (section 5.3).  This module provides the structural queries used by the
+probability estimators, the circuit generators' self-checks and the reports in
+the examples: fan-out statistics, reconvergence detection, cone sizes and an
+overall :class:`CircuitStats` summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from .netlist import Circuit
+
+__all__ = [
+    "CircuitStats",
+    "circuit_stats",
+    "fanout_counts",
+    "fanout_stems",
+    "reconvergent_stems",
+    "has_reconvergent_fanout",
+    "max_fanin",
+    "cone_sizes",
+]
+
+
+def fanout_counts(circuit: Circuit) -> List[int]:
+    """Number of gate inputs fed by each net."""
+    return [len(circuit.fanout_gates(net)) for net in range(circuit.n_nets)]
+
+
+def fanout_stems(circuit: Circuit) -> List[int]:
+    """Nets with fan-out greater than one (the *stems* of the circuit)."""
+    return [net for net, count in enumerate(fanout_counts(circuit)) if count > 1]
+
+
+def reconvergent_stems(circuit: Circuit) -> List[int]:
+    """Fan-out stems whose branches reconverge at some gate.
+
+    A stem ``s`` is reconvergent if two different gates fed (directly or
+    transitively) by *different* direct fan-out branches of ``s`` drive the same
+    gate.  Reconvergence is what makes the Parker–McCluskey exact computation
+    exponential and what COP-style estimators approximate away.
+    """
+    stems = fanout_stems(circuit)
+    result = []
+    for stem in stems:
+        if _is_reconvergent(circuit, stem):
+            result.append(stem)
+    return result
+
+
+def _is_reconvergent(circuit: Circuit, stem: int) -> bool:
+    branches = circuit.fanout_gates(stem)
+    if len(branches) < 2:
+        return False
+    # Label every net in the fan-out cone with the set of branch indices that
+    # can reach it; a gate whose inputs carry two different labels reconverges.
+    labels: Dict[int, Set[int]] = {stem: set()}
+    for branch_index, gi in enumerate(branches):
+        labels.setdefault(circuit.gates[gi].output, set()).add(branch_index)
+    start = min(branches)
+    for gi in range(start, circuit.n_gates):
+        gate = circuit.gates[gi]
+        incoming: Set[int] = set()
+        for src in gate.inputs:
+            incoming |= labels.get(src, set())
+        if gi in branches:
+            incoming.add(branches.index(gi))
+        if len(incoming) >= 2:
+            return True
+        if incoming:
+            existing = labels.setdefault(gate.output, set())
+            if existing and existing != incoming:
+                return True
+            existing |= incoming
+    return False
+
+
+def has_reconvergent_fanout(circuit: Circuit) -> bool:
+    """True if the circuit has at least one reconvergent fan-out stem."""
+    for stem in fanout_stems(circuit):
+        if _is_reconvergent(circuit, stem):
+            return True
+    return False
+
+
+def max_fanin(circuit: Circuit) -> int:
+    """Largest gate fan-in in the circuit (0 if there are no gates)."""
+    return max((gate.arity for gate in circuit.gates), default=0)
+
+
+def cone_sizes(circuit: Circuit) -> Dict[int, int]:
+    """Number of primary inputs in the support of every primary output."""
+    return {out: len(circuit.support_inputs(out)) for out in circuit.outputs}
+
+
+@dataclass(frozen=True)
+class CircuitStats:
+    """Aggregate structural statistics of a circuit."""
+
+    name: str
+    n_inputs: int
+    n_outputs: int
+    n_gates: int
+    n_nets: int
+    depth: int
+    max_fanin: int
+    max_fanout: int
+    n_fanout_stems: int
+    n_reconvergent_stems: int
+    max_output_support: int
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "inputs": self.n_inputs,
+            "outputs": self.n_outputs,
+            "gates": self.n_gates,
+            "nets": self.n_nets,
+            "depth": self.depth,
+            "max_fanin": self.max_fanin,
+            "max_fanout": self.max_fanout,
+            "fanout_stems": self.n_fanout_stems,
+            "reconvergent_stems": self.n_reconvergent_stems,
+            "max_output_support": self.max_output_support,
+        }
+
+
+def circuit_stats(circuit: Circuit) -> CircuitStats:
+    """Compute a :class:`CircuitStats` summary for ``circuit``."""
+    counts = fanout_counts(circuit)
+    stems = fanout_stems(circuit)
+    reconv = [s for s in stems if _is_reconvergent(circuit, s)]
+    supports = cone_sizes(circuit)
+    return CircuitStats(
+        name=circuit.name,
+        n_inputs=circuit.n_inputs,
+        n_outputs=circuit.n_outputs,
+        n_gates=circuit.n_gates,
+        n_nets=circuit.n_nets,
+        depth=circuit.depth,
+        max_fanin=max_fanin(circuit),
+        max_fanout=max(counts, default=0),
+        n_fanout_stems=len(stems),
+        n_reconvergent_stems=len(reconv),
+        max_output_support=max(supports.values(), default=0),
+    )

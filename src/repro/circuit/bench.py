@@ -1,0 +1,161 @@
+"""Reader / writer for the ISCAS ``.bench`` netlist format.
+
+The ISCAS'85 benchmark circuits referenced by the paper (Table 1) are
+distributed in this simple textual format::
+
+    # c17
+    INPUT(G1)
+    INPUT(G2)
+    OUTPUT(G22)
+    G10 = NAND(G1, G3)
+    G22 = NAND(G10, G16)
+
+This module parses such files into :class:`~repro.circuit.netlist.Circuit`
+objects (tolerating gates listed in arbitrary order) and writes circuits back
+out, so user-supplied netlists can be analysed and optimized with the library.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from .gates import GateType, parse_gate_type
+from .netlist import Circuit, CircuitError, Gate, topologically_sort_gates
+
+__all__ = ["parse_bench", "parse_bench_file", "write_bench", "BenchParseError"]
+
+
+class BenchParseError(CircuitError):
+    """Raised when a ``.bench`` netlist cannot be parsed."""
+
+
+_INPUT_RE = re.compile(r"^\s*INPUT\s*\(\s*([^)\s]+)\s*\)\s*$", re.IGNORECASE)
+_OUTPUT_RE = re.compile(r"^\s*OUTPUT\s*\(\s*([^)\s]+)\s*\)\s*$", re.IGNORECASE)
+_GATE_RE = re.compile(
+    r"^\s*([^=\s]+)\s*=\s*([A-Za-z0-9_]+)\s*\(\s*(.*?)\s*\)\s*$"
+)
+
+
+def parse_bench(text: str, name: str = "bench_circuit") -> Circuit:
+    """Parse ``.bench`` netlist text into a :class:`Circuit`.
+
+    Args:
+        text: the netlist source.
+        name: name given to the resulting circuit.
+
+    Raises:
+        BenchParseError: on syntax errors, unknown gate types, undriven nets or
+            combinational cycles.
+    """
+    input_names: List[str] = []
+    output_names: List[str] = []
+    gate_specs: List[Tuple[str, GateType, List[str]]] = []
+
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        match = _INPUT_RE.match(line)
+        if match:
+            input_names.append(match.group(1))
+            continue
+        match = _OUTPUT_RE.match(line)
+        if match:
+            output_names.append(match.group(1))
+            continue
+        match = _GATE_RE.match(line)
+        if match:
+            target, type_token, args = match.groups()
+            try:
+                gate_type = parse_gate_type(type_token)
+            except ValueError as exc:
+                raise BenchParseError(f"line {lineno}: {exc}") from exc
+            operands = [tok.strip() for tok in args.split(",") if tok.strip()]
+            gate_specs.append((target, gate_type, operands))
+            continue
+        raise BenchParseError(f"line {lineno}: cannot parse {raw_line!r}")
+
+    if not input_names:
+        raise BenchParseError("netlist declares no INPUT() nets")
+    if not output_names:
+        raise BenchParseError("netlist declares no OUTPUT() nets")
+
+    # Assign dense net ids: inputs first, then gate outputs in file order.
+    net_ids: Dict[str, int] = {}
+    net_names: List[str] = []
+
+    def intern(net_name: str) -> int:
+        if net_name not in net_ids:
+            net_ids[net_name] = len(net_names)
+            net_names.append(net_name)
+        return net_ids[net_name]
+
+    inputs = tuple(intern(n) for n in input_names)
+    gates: List[Gate] = []
+    for target, gate_type, operands in gate_specs:
+        out = intern(target)
+        srcs = tuple(intern(op) for op in operands)
+        gates.append(Gate(gate_type, out, srcs))
+
+    try:
+        outputs = tuple(net_ids[n] for n in output_names)
+    except KeyError as exc:
+        raise BenchParseError(f"OUTPUT net {exc.args[0]!r} is never driven") from exc
+
+    try:
+        ordered = topologically_sort_gates(len(net_names), inputs, gates)
+        return Circuit(
+            name=name,
+            net_names=net_names,
+            inputs=inputs,
+            outputs=outputs,
+            gates=ordered,
+        )
+    except BenchParseError:
+        raise
+    except CircuitError as exc:
+        raise BenchParseError(f"invalid netlist: {exc}") from exc
+
+
+def parse_bench_file(path: Union[str, Path]) -> Circuit:
+    """Parse a ``.bench`` file from disk; the circuit is named after the file."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=path.stem)
+
+
+def write_bench(circuit: Circuit) -> str:
+    """Serialise a circuit to ``.bench`` text.
+
+    ``CONST0``/``CONST1`` gates (which the format does not support) are written
+    as trivially constant gates over a dedicated dummy input only when present.
+    """
+    lines = [f"# {circuit.name}", f"# {circuit.summary()}"]
+    for net in circuit.inputs:
+        lines.append(f"INPUT({circuit.net_name(net)})")
+    for net in circuit.outputs:
+        lines.append(f"OUTPUT({circuit.net_name(net)})")
+    for gate in circuit.gates:
+        operands = ", ".join(circuit.net_name(src) for src in gate.inputs)
+        target = circuit.net_name(gate.output)
+        if gate.gate_type in (GateType.CONST0, GateType.CONST1):
+            # Encode constants through a self-explanatory alias; parsers of the
+            # classic format do not understand constants, so document them.
+            value = "0" if gate.gate_type is GateType.CONST0 else "1"
+            lines.append(f"# constant net {target} = {value}")
+            anchor = circuit.net_name(circuit.inputs[0])
+            if gate.gate_type is GateType.CONST0:
+                lines.append(f"{target} = AND({anchor}, {target}_not)")
+                lines.append(f"{target}_not = NOT({anchor})")
+            else:
+                lines.append(f"{target} = OR({anchor}, {target}_not)")
+                lines.append(f"{target}_not = NOT({anchor})")
+            continue
+        lines.append(f"{target} = {gate.gate_type.value}({operands})")
+    return "\n".join(lines) + "\n"
+
+
+def write_bench_file(circuit: Circuit, path: Union[str, Path]) -> None:
+    """Write a circuit to a ``.bench`` file."""
+    Path(path).write_text(write_bench(circuit))

@@ -1,0 +1,207 @@
+"""Fluent builder for combinational circuits.
+
+The builder hands out integer *signal handles* (net ids) and guarantees that
+the resulting :class:`~repro.circuit.netlist.Circuit` is topologically ordered,
+because a gate can only reference signals that already exist.
+
+Example::
+
+    builder = CircuitBuilder("half_adder")
+    a = builder.input("a")
+    b = builder.input("b")
+    builder.output(builder.xor(a, b), "sum")
+    builder.output(builder.and_(a, b), "carry")
+    circuit = builder.build()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .gates import GateType, validate_arity
+from .netlist import Circuit, CircuitError, Gate
+
+__all__ = ["CircuitBuilder"]
+
+
+class CircuitBuilder:
+    """Incrementally construct a combinational :class:`Circuit`."""
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self._net_names: List[str] = []
+        self._name_to_net: Dict[str, int] = {}
+        self._inputs: List[int] = []
+        self._outputs: List[int] = []
+        self._auto_named: set = set()
+        self._gates: List[Gate] = []
+        self._auto_index = 0
+
+    # ------------------------------------------------------------------ #
+    # Net management
+    # ------------------------------------------------------------------ #
+    def _new_net(self, name: Optional[str], auto_named: bool = False) -> int:
+        if name is None:
+            name = ""
+        if name:
+            if name in self._name_to_net:
+                raise CircuitError(f"net name {name!r} already used")
+        net = len(self._net_names)
+        self._net_names.append(name)
+        if name:
+            self._name_to_net[name] = net
+        if auto_named:
+            self._auto_named.add(net)
+        return net
+
+    def _auto_name(self, prefix: str) -> str:
+        self._auto_index += 1
+        return f"{prefix}_{self._auto_index}"
+
+    def input(self, name: Optional[str] = None) -> int:
+        """Create a primary input and return its signal handle."""
+        net = self._new_net(name or self._auto_name("in"))
+        self._inputs.append(net)
+        return net
+
+    def inputs(self, names: Iterable[str]) -> List[int]:
+        """Create one primary input per name."""
+        return [self.input(name) for name in names]
+
+    def input_bus(self, prefix: str, width: int) -> List[int]:
+        """Create ``width`` primary inputs named ``prefix0 .. prefix<width-1>``.
+
+        Bit 0 is the least significant bit by convention of the generators in
+        :mod:`repro.circuits`.
+        """
+        return [self.input(f"{prefix}{i}") for i in range(width)]
+
+    def output(self, signal: int, name: Optional[str] = None) -> int:
+        """Mark ``signal`` as a primary output.
+
+        If ``name`` is given and differs from the signal's current name, the
+        net is simply renamed when its old name was auto-generated; a buffer is
+        inserted only when renaming is not possible (the signal is a primary
+        input, already an output, or carries a user-chosen name).
+        """
+        self._check_signal(signal)
+        if name and self._net_names[signal] != name:
+            renamable = (
+                signal in self._auto_named
+                and signal not in self._inputs
+                and signal not in self._outputs
+            )
+            if renamable and name not in self._name_to_net:
+                del self._name_to_net[self._net_names[signal]]
+                self._net_names[signal] = name
+                self._name_to_net[name] = signal
+                self._auto_named.discard(signal)
+            else:
+                signal = self.gate(GateType.BUF, [signal], name=name)
+        self._outputs.append(signal)
+        return signal
+
+    def outputs(self, signals: Sequence[int], names: Optional[Sequence[str]] = None) -> None:
+        """Mark several signals as primary outputs."""
+        if names is None:
+            for signal in signals:
+                self.output(signal)
+        else:
+            if len(names) != len(signals):
+                raise ValueError("signals and names must have the same length")
+            for signal, name in zip(signals, names):
+                self.output(signal, name)
+
+    def output_bus(self, prefix: str, signals: Sequence[int]) -> None:
+        """Mark a bus of signals as outputs named ``prefix0 .. prefixN``."""
+        for i, signal in enumerate(signals):
+            self.output(signal, f"{prefix}{i}")
+
+    def _check_signal(self, signal: int) -> None:
+        if not 0 <= signal < len(self._net_names):
+            raise CircuitError(f"unknown signal handle: {signal}")
+
+    # ------------------------------------------------------------------ #
+    # Gate creation
+    # ------------------------------------------------------------------ #
+    def gate(
+        self,
+        gate_type: GateType,
+        inputs: Sequence[int],
+        name: Optional[str] = None,
+    ) -> int:
+        """Create a gate and return the handle of its output signal."""
+        validate_arity(gate_type, len(inputs))
+        for signal in inputs:
+            self._check_signal(signal)
+        auto = name is None
+        out = self._new_net(
+            name or self._auto_name(gate_type.value.lower()), auto_named=auto
+        )
+        self._gates.append(Gate(gate_type, out, tuple(inputs)))
+        return out
+
+    # Convenience wrappers ------------------------------------------------
+    def and_(self, *signals: int, name: Optional[str] = None) -> int:
+        return self.gate(GateType.AND, self._flatten(signals), name)
+
+    def nand(self, *signals: int, name: Optional[str] = None) -> int:
+        return self.gate(GateType.NAND, self._flatten(signals), name)
+
+    def or_(self, *signals: int, name: Optional[str] = None) -> int:
+        return self.gate(GateType.OR, self._flatten(signals), name)
+
+    def nor(self, *signals: int, name: Optional[str] = None) -> int:
+        return self.gate(GateType.NOR, self._flatten(signals), name)
+
+    def xor(self, *signals: int, name: Optional[str] = None) -> int:
+        return self.gate(GateType.XOR, self._flatten(signals), name)
+
+    def xnor(self, *signals: int, name: Optional[str] = None) -> int:
+        return self.gate(GateType.XNOR, self._flatten(signals), name)
+
+    def not_(self, signal: int, name: Optional[str] = None) -> int:
+        return self.gate(GateType.NOT, [signal], name)
+
+    def buf(self, signal: int, name: Optional[str] = None) -> int:
+        return self.gate(GateType.BUF, [signal], name)
+
+    def const0(self, name: Optional[str] = None) -> int:
+        return self.gate(GateType.CONST0, [], name)
+
+    def const1(self, name: Optional[str] = None) -> int:
+        return self.gate(GateType.CONST1, [], name)
+
+    def mux(self, select: int, when0: int, when1: int, name: Optional[str] = None) -> int:
+        """2:1 multiplexer built from basic gates (``select ? when1 : when0``)."""
+        n_select = self.not_(select)
+        a = self.and_(n_select, when0)
+        b = self.and_(select, when1)
+        return self.or_(a, b, name=name)
+
+    @staticmethod
+    def _flatten(signals: Sequence) -> List[int]:
+        flat: List[int] = []
+        for item in signals:
+            if isinstance(item, (list, tuple)):
+                flat.extend(item)
+            else:
+                flat.append(item)
+        return flat
+
+    # ------------------------------------------------------------------ #
+    # Finalisation
+    # ------------------------------------------------------------------ #
+    def build(self) -> Circuit:
+        """Freeze the builder into an immutable, validated :class:`Circuit`."""
+        if not self._inputs:
+            raise CircuitError("circuit has no primary inputs")
+        if not self._outputs:
+            raise CircuitError("circuit has no primary outputs")
+        return Circuit(
+            name=self.name,
+            net_names=list(self._net_names),
+            inputs=tuple(self._inputs),
+            outputs=tuple(self._outputs),
+            gates=list(self._gates),
+        )

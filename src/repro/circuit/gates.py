@@ -1,0 +1,222 @@
+"""Gate primitives for combinational networks.
+
+The paper (section 2.1) works on gate-level combinational networks and maps
+boolean functions into the arithmetic domain (the *arithmetical embedding*,
+formulas (4)-(6)): ``TRUE -> 1``, ``FALSE -> 0``, ``x & y -> x*y`` and
+``not x -> 1-x``.  Under the assumption of independent inputs the value of the
+embedded function at the input probabilities equals the signal probability of
+the gate output (formula (5)).  This module provides, for every supported gate
+type:
+
+* the boolean evaluation on python ``bool`` values,
+* the bit-parallel evaluation on ``numpy.uint64`` pattern words, and
+* the arithmetical embedding used by COP-style probability propagation.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "GateType",
+    "INVERTING_GATES",
+    "eval_bool",
+    "eval_words",
+    "eval_probability",
+    "controlling_value",
+    "inversion_parity",
+]
+
+
+class GateType(enum.Enum):
+    """Supported combinational gate types.
+
+    ``CONST0``/``CONST1`` model tied-off nets; ``BUF`` models fan-out buffers
+    and named aliases that appear when parsing ``.bench`` netlists.
+    """
+
+    AND = "AND"
+    NAND = "NAND"
+    OR = "OR"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    NOT = "NOT"
+    BUF = "BUF"
+    CONST0 = "CONST0"
+    CONST1 = "CONST1"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Gate types whose output is the complement of the corresponding
+#: non-inverting gate (used by fault collapsing and observability rules).
+INVERTING_GATES = frozenset({GateType.NAND, GateType.NOR, GateType.XNOR, GateType.NOT})
+
+#: Minimum / maximum number of inputs per gate type (None = unbounded).
+_ARITY = {
+    GateType.AND: (1, None),
+    GateType.NAND: (1, None),
+    GateType.OR: (1, None),
+    GateType.NOR: (1, None),
+    GateType.XOR: (1, None),
+    GateType.XNOR: (1, None),
+    GateType.NOT: (1, 1),
+    GateType.BUF: (1, 1),
+    GateType.CONST0: (0, 0),
+    GateType.CONST1: (0, 0),
+}
+
+
+def validate_arity(gate_type: GateType, n_inputs: int) -> None:
+    """Raise ``ValueError`` if ``n_inputs`` is not legal for ``gate_type``."""
+    low, high = _ARITY[gate_type]
+    if n_inputs < low or (high is not None and n_inputs > high):
+        raise ValueError(
+            f"gate type {gate_type} does not accept {n_inputs} inputs "
+            f"(expected between {low} and {high if high is not None else 'inf'})"
+        )
+
+
+def controlling_value(gate_type: GateType) -> bool | None:
+    """Return the controlling input value of a gate, if it has one.
+
+    AND/NAND are controlled by 0, OR/NOR by 1; XOR/XNOR/NOT/BUF have no
+    controlling value.  Used by observability propagation and by the cutting
+    algorithm.
+    """
+    if gate_type in (GateType.AND, GateType.NAND):
+        return False
+    if gate_type in (GateType.OR, GateType.NOR):
+        return True
+    return None
+
+
+def inversion_parity(gate_type: GateType) -> bool:
+    """True if the gate inverts (its output is the complement of the
+    corresponding non-inverting function)."""
+    return gate_type in INVERTING_GATES
+
+
+def eval_bool(gate_type: GateType, inputs: Sequence[bool]) -> bool:
+    """Evaluate a gate on scalar boolean inputs."""
+    if gate_type is GateType.CONST0:
+        return False
+    if gate_type is GateType.CONST1:
+        return True
+    if gate_type is GateType.BUF:
+        return bool(inputs[0])
+    if gate_type is GateType.NOT:
+        return not inputs[0]
+    if gate_type is GateType.AND:
+        return all(inputs)
+    if gate_type is GateType.NAND:
+        return not all(inputs)
+    if gate_type is GateType.OR:
+        return any(inputs)
+    if gate_type is GateType.NOR:
+        return not any(inputs)
+    if gate_type is GateType.XOR:
+        return bool(sum(bool(v) for v in inputs) % 2)
+    if gate_type is GateType.XNOR:
+        return not (sum(bool(v) for v in inputs) % 2)
+    raise ValueError(f"unknown gate type: {gate_type!r}")
+
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def eval_words(
+    gate_type: GateType, inputs: Sequence[np.ndarray], n_words: int
+) -> np.ndarray:
+    """Evaluate a gate bit-parallel on ``uint64`` pattern words.
+
+    Each element of ``inputs`` is an array of shape ``(n_words,)`` holding 64
+    patterns per word.  The return value has the same shape.
+    """
+    if gate_type is GateType.CONST0:
+        return np.zeros(n_words, dtype=np.uint64)
+    if gate_type is GateType.CONST1:
+        return np.full(n_words, _ALL_ONES, dtype=np.uint64)
+    if gate_type is GateType.BUF:
+        return inputs[0].copy()
+    if gate_type is GateType.NOT:
+        return np.bitwise_not(inputs[0])
+    if gate_type in (GateType.AND, GateType.NAND):
+        acc = inputs[0].copy()
+        for word in inputs[1:]:
+            acc &= word
+        return np.bitwise_not(acc) if gate_type is GateType.NAND else acc
+    if gate_type in (GateType.OR, GateType.NOR):
+        acc = inputs[0].copy()
+        for word in inputs[1:]:
+            acc |= word
+        return np.bitwise_not(acc) if gate_type is GateType.NOR else acc
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        acc = inputs[0].copy()
+        for word in inputs[1:]:
+            acc ^= word
+        return np.bitwise_not(acc) if gate_type is GateType.XNOR else acc
+    raise ValueError(f"unknown gate type: {gate_type!r}")
+
+
+def eval_probability(gate_type: GateType, inputs: Sequence[float]) -> float:
+    """Arithmetical embedding of a gate (paper formulas (2)-(6)).
+
+    Under the assumption that the gate inputs are statistically independent the
+    returned value is the probability that the gate output is TRUE.  This is
+    exactly the COP propagation rule and the basis of PROTEST-style estimation.
+    """
+    if gate_type is GateType.CONST0:
+        return 0.0
+    if gate_type is GateType.CONST1:
+        return 1.0
+    if gate_type is GateType.BUF:
+        return float(inputs[0])
+    if gate_type is GateType.NOT:
+        return 1.0 - float(inputs[0])
+    if gate_type in (GateType.AND, GateType.NAND):
+        prod = 1.0
+        for p in inputs:
+            prod *= p
+        return 1.0 - prod if gate_type is GateType.NAND else prod
+    if gate_type in (GateType.OR, GateType.NOR):
+        prod = 1.0
+        for p in inputs:
+            prod *= 1.0 - p
+        return prod if gate_type is GateType.NOR else 1.0 - prod
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        # P(odd number of TRUE inputs); fold pairwise, independence assumed.
+        acc = 0.0
+        for p in inputs:
+            acc = acc * (1.0 - p) + (1.0 - acc) * p
+        return 1.0 - acc if gate_type is GateType.XNOR else acc
+    raise ValueError(f"unknown gate type: {gate_type!r}")
+
+
+def parse_gate_type(name: str) -> GateType:
+    """Parse a gate-type token as found in ``.bench`` files (case insensitive).
+
+    Accepts the common aliases ``INV``/``NOT`` and ``BUFF``/``BUF``.
+    """
+    token = name.strip().upper()
+    aliases = {
+        "INV": "NOT",
+        "INVERTER": "NOT",
+        "BUFF": "BUF",
+        "BUFFER": "BUF",
+    }
+    token = aliases.get(token, token)
+    try:
+        return GateType(token)
+    except ValueError as exc:
+        raise ValueError(f"unknown gate type token: {name!r}") from exc
+
+
+def gate_type_names() -> Iterable[str]:
+    """All accepted gate type names (canonical forms)."""
+    return [g.value for g in GateType]

@@ -1,0 +1,94 @@
+"""Netlist transformations.
+
+Currently one transform is provided: :func:`expand_xor`, which rewrites every
+XOR/XNOR gate into the equivalent two-level AND/OR/NOT structure.  Two users:
+
+* the cutting algorithm (:mod:`repro.analysis.cutting`) — Savir's bounds are
+  defined for AND/OR/NOT networks, so parity gates are expanded first (their
+  internal reconvergence is then cut like any other, keeping the bounds sound);
+* the c1355-like benchmark circuit — the ISCAS'85 circuit c1355 is exactly the
+  c499 SEC circuit with its XORs expanded into primitive gates, which is why
+  the two circuits have such different random-pattern testability in Table 1.
+
+The transform preserves all existing net ids (new helper nets are appended),
+so analyses performed on the expanded circuit can be indexed with the original
+net ids directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .gates import GateType
+from .netlist import Circuit, Gate
+
+__all__ = ["expand_xor", "has_parity_gates"]
+
+
+def has_parity_gates(circuit: Circuit) -> bool:
+    """True if the circuit contains any XOR or XNOR gate."""
+    return any(g.gate_type in (GateType.XOR, GateType.XNOR) for g in circuit.gates)
+
+
+def expand_xor(circuit: Circuit, name_suffix: str = "_xorfree") -> Circuit:
+    """Rewrite every XOR/XNOR gate into AND/OR/NOT gates.
+
+    A two-input XOR ``a ^ b`` becomes ``(a AND NOT b) OR (NOT a AND b)``;
+    wider parity gates are folded pairwise.  XNOR adds a final inverter.  The
+    output net of each rewritten gate keeps its original net id, so the
+    transformed circuit computes exactly the same function on the same primary
+    inputs/outputs and existing net ids remain valid.
+    """
+    if not has_parity_gates(circuit):
+        return circuit
+
+    net_names: List[str] = list(circuit.net_names)
+    new_gates: List[Gate] = []
+    helper_count = 0
+
+    def new_net(hint: str) -> int:
+        nonlocal helper_count
+        helper_count += 1
+        net_names.append(f"__{hint}_{helper_count}")
+        return len(net_names) - 1
+
+    def emit(gate_type: GateType, inputs: Tuple[int, ...], output: int | None = None, hint: str = "x") -> int:
+        target = output if output is not None else new_net(hint)
+        new_gates.append(Gate(gate_type, target, inputs))
+        return target
+
+    def xor_pair(a: int, b: int, output: int | None = None) -> int:
+        not_a = emit(GateType.NOT, (a,), hint="na")
+        not_b = emit(GateType.NOT, (b,), hint="nb")
+        left = emit(GateType.AND, (a, not_b), hint="and")
+        right = emit(GateType.AND, (not_a, b), hint="and")
+        return emit(GateType.OR, (left, right), output=output, hint="or")
+
+    for gate in circuit.gates:
+        if gate.gate_type not in (GateType.XOR, GateType.XNOR):
+            new_gates.append(gate)
+            continue
+        inputs = list(gate.inputs)
+        if len(inputs) == 1:
+            # Degenerate single-input parity gate: XOR == BUF, XNOR == NOT.
+            final_type = GateType.NOT if gate.gate_type is GateType.XNOR else GateType.BUF
+            emit(final_type, (inputs[0],), output=gate.output)
+            continue
+        accumulator = inputs[0]
+        for position, operand in enumerate(inputs[1:], start=1):
+            is_last = position == len(inputs) - 1
+            if is_last and gate.gate_type is GateType.XOR:
+                xor_pair(accumulator, operand, output=gate.output)
+            elif is_last:
+                parity = xor_pair(accumulator, operand)
+                emit(GateType.NOT, (parity,), output=gate.output)
+            else:
+                accumulator = xor_pair(accumulator, operand)
+
+    return Circuit(
+        name=circuit.name + name_suffix,
+        net_names=net_names,
+        inputs=circuit.inputs,
+        outputs=circuit.outputs,
+        gates=new_gates,
+    )

@@ -1,0 +1,38 @@
+"""Benchmark circuit generators (the paper's evaluation workloads)."""
+
+from .adders import carry_select_adder_circuit, ripple_adder_circuit
+from .alu import alu_circuit
+from .comparator import comparator_circuit, s1_comparator, sn7485_slice
+from .divider import divider_circuit, s2_divider
+from .ecc import ecc_decoder_circuit, hamming_parameters
+from .multiplier import array_multiplier_circuit
+from .resistant import c2670_like, c7552_like, resistant_circuit
+from .registry import (
+    BenchmarkCircuit,
+    build_circuit,
+    circuit_keys,
+    hard_suite,
+    paper_suite,
+)
+
+__all__ = [
+    "ripple_adder_circuit",
+    "carry_select_adder_circuit",
+    "alu_circuit",
+    "comparator_circuit",
+    "s1_comparator",
+    "sn7485_slice",
+    "divider_circuit",
+    "s2_divider",
+    "ecc_decoder_circuit",
+    "hamming_parameters",
+    "array_multiplier_circuit",
+    "resistant_circuit",
+    "c2670_like",
+    "c7552_like",
+    "BenchmarkCircuit",
+    "build_circuit",
+    "circuit_keys",
+    "hard_suite",
+    "paper_suite",
+]

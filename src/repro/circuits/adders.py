@@ -1,0 +1,61 @@
+"""Adder circuits (easy-to-test workloads for examples and tests).
+
+Adders are *not* random-pattern resistant — they serve as the friendly
+counterexample in the examples and as well-understood functional circuits for
+validating the simulators (their arithmetic can be checked against Python
+integers).
+"""
+
+from __future__ import annotations
+
+from ..circuit.builder import CircuitBuilder
+from ..circuit.library import ripple_carry_adder
+from ..circuit.netlist import Circuit
+
+__all__ = ["ripple_adder_circuit", "carry_select_adder_circuit"]
+
+
+def ripple_adder_circuit(width: int = 8, with_carry_in: bool = True, name: str | None = None) -> Circuit:
+    """``width``-bit ripple-carry adder with optional carry input.
+
+    Inputs ``a*``, ``b*`` (little endian) and optionally ``cin``; outputs
+    ``s*`` and ``cout``.
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    builder = CircuitBuilder(name or f"ripple_adder{width}")
+    a = builder.input_bus("a", width)
+    b = builder.input_bus("b", width)
+    carry_in = builder.input("cin") if with_carry_in else None
+    sums, carry_out = ripple_carry_adder(builder, a, b, carry_in)
+    builder.output_bus("s", sums)
+    builder.output(carry_out, "cout")
+    return builder.build()
+
+
+def carry_select_adder_circuit(width: int = 8, block: int = 4, name: str | None = None) -> Circuit:
+    """Carry-select adder: each block is computed for both carry values and the
+    real carry selects the result.  Introduces fan-out and reconvergence, which
+    makes it a useful test case for the probability estimators.
+    """
+    if width < 1 or block < 1:
+        raise ValueError("width and block must be positive")
+    builder = CircuitBuilder(name or f"carry_select_adder{width}")
+    a = builder.input_bus("a", width)
+    b = builder.input_bus("b", width)
+    carry = builder.input("cin")
+
+    sums = []
+    for start in range(0, width, block):
+        stop = min(start + block, width)
+        a_blk, b_blk = a[start:stop], b[start:stop]
+        zero = builder.const0()
+        one = builder.const1()
+        sums0, carry0 = ripple_carry_adder(builder, a_blk, b_blk, zero)
+        sums1, carry1 = ripple_carry_adder(builder, a_blk, b_blk, one)
+        for s0, s1 in zip(sums0, sums1):
+            sums.append(builder.mux(carry, s0, s1))
+        carry = builder.mux(carry, carry0, carry1)
+    builder.output_bus("s", sums)
+    builder.output(carry, "cout")
+    return builder.build()

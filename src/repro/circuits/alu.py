@@ -1,0 +1,59 @@
+"""ALU with status flags (the c880-like workload).
+
+The ISCAS'85 circuit c880 is an 8-bit ALU.  This generator builds a comparable
+structure: an ``width``-bit datapath computing AND / OR / XOR / ADD selected by
+two function-select inputs, with carry-in, carry-out, a zero flag (wide NOR)
+and an equality flag.  The wide zero/equality detectors contribute moderately
+random-pattern-resistant faults; the rest of the circuit is easy to test,
+which mirrors c880's middle-of-the-road position in Table 1.
+"""
+
+from __future__ import annotations
+
+from ..circuit.builder import CircuitBuilder
+from ..circuit.library import and_tree, ripple_carry_adder
+from ..circuit.netlist import Circuit
+
+__all__ = ["alu_circuit"]
+
+
+def alu_circuit(width: int = 8, name: str | None = None, with_eq_flag: bool = True) -> Circuit:
+    """``width``-bit four-function ALU with flags.
+
+    Inputs: operands ``a*``/``b*``, function select ``sel0``/``sel1``, carry
+    ``cin``.  Function encoding: 00 = AND, 01 = OR, 10 = XOR, 11 = ADD.
+    Outputs: result ``f*``, ``cout`` (only meaningful for ADD), ``zero`` and —
+    when ``with_eq_flag`` is set — ``a_eq_b``.
+
+    ``with_eq_flag=False`` drops the wide equality comparator; for large widths
+    that flag would by itself make the ALU random-pattern resistant, which is
+    not the behaviour of the ISCAS circuits this generator substitutes for.
+    """
+    if width < 2:
+        raise ValueError("width must be at least 2")
+    builder = CircuitBuilder(name or f"alu{width}")
+    a = builder.input_bus("a", width)
+    b = builder.input_bus("b", width)
+    sel0 = builder.input("sel0")
+    sel1 = builder.input("sel1")
+    carry_in = builder.input("cin")
+
+    and_bits = [builder.and_(a[i], b[i]) for i in range(width)]
+    or_bits = [builder.or_(a[i], b[i]) for i in range(width)]
+    xor_bits = [builder.xor(a[i], b[i]) for i in range(width)]
+    add_bits, carry_out = ripple_carry_adder(builder, a, b, carry_in)
+
+    result = []
+    for i in range(width):
+        low = builder.mux(sel0, and_bits[i], or_bits[i])
+        high = builder.mux(sel0, xor_bits[i], add_bits[i])
+        result.append(builder.mux(sel1, low, high))
+
+    builder.output_bus("f", result)
+    builder.output(builder.and_(sel0, builder.and_(sel1, carry_out)), "cout")
+    builder.output(builder.nor(*result), "zero")
+    if with_eq_flag:
+        builder.output(
+            and_tree(builder, [builder.xnor(a[i], b[i]) for i in range(width)]), "a_eq_b"
+        )
+    return builder.build()

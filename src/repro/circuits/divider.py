@@ -1,0 +1,77 @@
+"""Combinational restoring array divider — the paper's circuit S2.
+
+S2 is "the combinational part of a 32 bit divider" [KuWu85].  A combinational
+(array) divider computes quotient and remainder with one conditional-subtract
+row per quotient bit: row ``i`` subtracts the divisor from the current partial
+remainder; if the subtraction does not underflow the quotient bit is 1 and the
+difference becomes the new remainder, otherwise the quotient bit is 0 and the
+remainder is kept (restoring division).
+
+The long borrow chains and the data-dependent restore multiplexers give the
+circuit many faults with very low detection probabilities under equiprobable
+patterns (Table 1 estimates a test length of 2·10¹¹ for the 32-bit version),
+which makes it the second headline circuit of the paper.  The generator is
+parameterised so the benchmark harness can run a scaled-down version.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..circuit.builder import CircuitBuilder
+from ..circuit.library import ripple_borrow_subtractor
+from ..circuit.netlist import Circuit
+
+__all__ = ["divider_circuit", "s2_divider"]
+
+
+def divider_circuit(width: int = 8, name: str | None = None) -> Circuit:
+    """Restoring array divider: ``width``-bit dividend / ``width``-bit divisor.
+
+    Primary inputs: ``n0..n<width-1>`` (dividend) and ``d0..d<width-1>``
+    (divisor), little endian.  Primary outputs: quotient ``q*``, remainder
+    ``r*`` and ``div_by_zero`` (NOR of the divisor bits).
+
+    The remainder register is ``width`` bits wide and the dividend is shifted
+    in MSB-first, exactly like the iterative schoolbook algorithm unrolled into
+    an array.
+    """
+    if width < 2:
+        raise ValueError("width must be at least 2")
+    builder = CircuitBuilder(name or f"divider{width}")
+    dividend = builder.input_bus("n", width)
+    divisor = builder.input_bus("d", width)
+
+    zero = builder.const0()
+    remainder: List[int] = [zero] * width
+    quotient: List[int] = list(remainder)
+
+    for step in reversed(range(width)):
+        # Shift the next dividend bit (MSB first) into the remainder.  The
+        # comparison needs one extra bit because the shifted remainder can
+        # momentarily exceed ``width`` bits.
+        shifted = [dividend[step]] + remainder
+        divisor_ext = list(divisor) + [zero]
+        difference, borrow = ripple_borrow_subtractor(builder, shifted, divisor_ext)
+        quotient_bit = builder.not_(borrow)
+        quotient[step] = quotient_bit
+        # Restore: keep the shifted remainder when the subtract underflowed.
+        # Both candidates fit in ``width`` bits again (remainder < divisor).
+        remainder = [
+            builder.mux(quotient_bit, shifted[i], difference[i]) for i in range(width)
+        ]
+
+    builder.output_bus("q", quotient)
+    builder.output_bus("r", remainder)
+    builder.output(builder.nor(*divisor), "div_by_zero")
+    return builder.build()
+
+
+def s2_divider(width: int = 16) -> Circuit:
+    """The paper's S2 (combinational divider), scaled to ``width`` bits.
+
+    The paper uses 32 bits; the default here is 16 so the fault-simulation
+    benches finish at laptop scale.  Pass ``width=32`` for the full-size
+    circuit.
+    """
+    return divider_circuit(width=width, name=f"S2_divider{width}")

@@ -1,0 +1,82 @@
+"""Single-error-correcting (Hamming) decoder — the c499/c1355-like workload.
+
+The ISCAS'85 circuits c499 and c1355 implement a 32-bit single-error-correcting
+circuit (c1355 is the same function with XOR gates expanded into NANDs).  The
+generator here builds a Hamming SEC decoder for a parameterised data width:
+XOR trees compute the syndrome from the received data and check bits, a
+decoder expands the syndrome into one-hot error locations (wide AND gates —
+the slightly random-pattern-resistant part), and the data bits are corrected by
+XORing with the matching decoder output.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..circuit.builder import CircuitBuilder
+from ..circuit.library import and_tree, parity_tree
+from ..circuit.netlist import Circuit
+
+__all__ = ["hamming_parameters", "ecc_decoder_circuit"]
+
+
+def hamming_parameters(data_width: int) -> int:
+    """Number of check bits of a single-error-correcting Hamming code."""
+    if data_width < 1:
+        raise ValueError("data_width must be positive")
+    check = 0
+    while (1 << check) < data_width + check + 1:
+        check += 1
+    return check
+
+
+def ecc_decoder_circuit(data_width: int = 32, name: str | None = None) -> Circuit:
+    """Hamming SEC decoder: corrects any single-bit error in the code word.
+
+    Inputs: received data bits ``d*`` and received check bits ``c*``.
+    Outputs: corrected data bits ``o*`` and ``error`` (1 if the syndrome is
+    non-zero, i.e. some single-bit error was detected).
+    """
+    check_width = hamming_parameters(data_width)
+    builder = CircuitBuilder(name or f"ecc{data_width}")
+    data = builder.input_bus("d", data_width)
+    check = builder.input_bus("c", check_width)
+
+    # Hamming positions 1..n with powers of two reserved for check bits.
+    positions: List[int] = []  # signal per code-word position (1-based)
+    data_position: List[int] = []  # code-word position of each data bit
+    data_iter = iter(range(data_width))
+    total = data_width + check_width
+    signal_at_position: dict[int, int] = {}
+    next_data = 0
+    for position in range(1, total + 1):
+        if position & (position - 1) == 0:  # power of two -> check bit
+            check_index = position.bit_length() - 1
+            signal_at_position[position] = check[check_index]
+        else:
+            signal_at_position[position] = data[next_data]
+            data_position.append(position)
+            next_data += 1
+    del positions, data_iter
+
+    # Syndrome bit k is the parity over all positions whose k-th bit is set.
+    syndrome: List[int] = []
+    for k in range(check_width):
+        members = [
+            signal_at_position[p] for p in range(1, total + 1) if (p >> k) & 1
+        ]
+        syndrome.append(parity_tree(builder, members))
+
+    # One-hot decode of the syndrome for every data position; correct the bit.
+    inverted = [builder.not_(s) for s in syndrome]
+    corrected = []
+    for bit_index, position in enumerate(data_position):
+        terms = [
+            syndrome[k] if (position >> k) & 1 else inverted[k]
+            for k in range(check_width)
+        ]
+        hit = and_tree(builder, terms)
+        corrected.append(builder.xor(data[bit_index], hit))
+    builder.output_bus("o", corrected)
+    builder.output(builder.or_(*syndrome), "error")
+    return builder.build()

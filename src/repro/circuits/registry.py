@@ -1,0 +1,243 @@
+"""Registry of benchmark circuits and the paper's reference numbers.
+
+The evaluation of the paper uses twelve circuits: the ISCAS'85 benchmarks
+c432..c7552, the 24-bit comparator S1 and the combinational part of a 32-bit
+divider S2.  The ISCAS netlists are not redistributable inside this
+repository, so each entry maps to a *structure-equivalent generated circuit*
+(see DESIGN.md, "Substitutions"); S1 and S2 are rebuilt faithfully from their
+published descriptions.
+
+Each :class:`BenchmarkCircuit` also records the numbers the paper reports for
+the original circuit (Tables 1-5), so the benchmark harness can print
+paper-vs-measured comparisons and EXPERIMENTS.md can be regenerated from one
+place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..circuit.netlist import Circuit
+from ..circuit.transforms import expand_xor
+from .alu import alu_circuit
+from .comparator import s1_comparator
+from .divider import s2_divider
+from .ecc import ecc_decoder_circuit
+from .multiplier import array_multiplier_circuit
+from .resistant import c2670_like, c7552_like
+
+__all__ = ["BenchmarkCircuit", "paper_suite", "hard_suite", "build_circuit", "circuit_keys"]
+
+
+@dataclass(frozen=True)
+class BenchmarkCircuit:
+    """One circuit of the paper's evaluation plus its published numbers.
+
+    ``None`` means the paper does not report that quantity for this circuit
+    (e.g. only the four starred circuits appear in Tables 2-5).
+    """
+
+    key: str
+    paper_name: str
+    description: str
+    hard: bool
+    build: Callable[[], Circuit]
+    paper_conventional_length: Optional[float] = None   # Table 1
+    paper_optimized_length: Optional[float] = None      # Table 3
+    paper_conventional_coverage: Optional[float] = None  # Table 2 (%)
+    paper_optimized_coverage: Optional[float] = None     # Table 4 (%)
+    paper_pattern_count: Optional[int] = None            # Tables 2/4 test length
+    paper_cpu_seconds: Optional[float] = None            # Table 5
+
+    def instantiate(self) -> Circuit:
+        """Build a fresh instance of the substituted circuit."""
+        return self.build()
+
+
+_REGISTRY: Dict[str, BenchmarkCircuit] = {}
+
+
+def _register(entry: BenchmarkCircuit) -> None:
+    _REGISTRY[entry.key] = entry
+
+
+_register(
+    BenchmarkCircuit(
+        key="s1",
+        paper_name="S1",
+        description="24-bit comparator from six SN7485 slices (faithful rebuild)",
+        hard=True,
+        build=lambda: s1_comparator(width=24),
+        paper_conventional_length=5.6e8,
+        paper_optimized_length=3.5e4,
+        paper_conventional_coverage=80.7,
+        paper_optimized_coverage=99.7,
+        paper_pattern_count=12_000,
+        paper_cpu_seconds=300.0,
+    )
+)
+_register(
+    BenchmarkCircuit(
+        key="s2",
+        paper_name="S2",
+        description="combinational restoring array divider (paper: 32-bit; scaled to 12)",
+        hard=True,
+        build=lambda: s2_divider(width=12),
+        paper_conventional_length=2.0e11,
+        paper_optimized_length=4.0e4,
+        paper_conventional_coverage=77.2,
+        paper_optimized_coverage=99.7,
+        paper_pattern_count=12_000,
+        paper_cpu_seconds=600.0,
+    )
+)
+_register(
+    BenchmarkCircuit(
+        key="c432",
+        paper_name="C432",
+        description="interrupt-controller-class circuit (substituted: 6-bit ALU)",
+        hard=False,
+        build=lambda: alu_circuit(width=6),
+        paper_conventional_length=2.5e3,
+    )
+)
+_register(
+    BenchmarkCircuit(
+        key="c499",
+        paper_name="C499",
+        description="32-bit SEC circuit (substituted: Hamming decoder, 32 data bits)",
+        hard=False,
+        build=lambda: ecc_decoder_circuit(data_width=32),
+        paper_conventional_length=1.9e3,
+    )
+)
+_register(
+    BenchmarkCircuit(
+        key="c880",
+        paper_name="C880",
+        description="8-bit ALU (substituted: 8-bit four-function ALU with flags)",
+        hard=False,
+        build=lambda: alu_circuit(width=8),
+        paper_conventional_length=3.7e4,
+    )
+)
+_register(
+    BenchmarkCircuit(
+        key="c1355",
+        paper_name="C1355",
+        description="32-bit SEC circuit, XORs expanded into AND/OR/NOT (like c1355 vs c499)",
+        hard=False,
+        build=lambda: expand_xor(ecc_decoder_circuit(data_width=32, name="ecc32"), name_suffix="_expanded"),
+        paper_conventional_length=2.2e6,
+    )
+)
+_register(
+    BenchmarkCircuit(
+        key="c1908",
+        paper_name="C1908",
+        description="16-bit SEC/EDC circuit (substituted: Hamming decoder, 16 data bits)",
+        hard=False,
+        build=lambda: ecc_decoder_circuit(data_width=16),
+        paper_conventional_length=6.2e4,
+    )
+)
+_register(
+    BenchmarkCircuit(
+        key="c2670",
+        paper_name="C2670",
+        description="ALU+control with wide comparator (substituted: resistant block, width 12)",
+        hard=True,
+        build=lambda: c2670_like(width=12),
+        paper_conventional_length=1.1e7,
+        paper_optimized_length=6.9e4,
+        paper_conventional_coverage=88.0,
+        paper_optimized_coverage=99.7,
+        paper_pattern_count=4_000,
+        paper_cpu_seconds=1200.0,
+    )
+)
+_register(
+    BenchmarkCircuit(
+        key="c3540",
+        paper_name="C3540",
+        description="8-bit ALU with control (substituted: 12-bit ALU, no eq flag)",
+        hard=False,
+        build=lambda: alu_circuit(width=12, with_eq_flag=False),
+        paper_conventional_length=2.3e6,
+    )
+)
+_register(
+    BenchmarkCircuit(
+        key="c5315",
+        paper_name="C5315",
+        description="9-bit ALU / bus selector (substituted: 16-bit ALU, no eq flag)",
+        hard=False,
+        build=lambda: alu_circuit(width=16, with_eq_flag=False),
+        paper_conventional_length=5.3e4,
+    )
+)
+_register(
+    BenchmarkCircuit(
+        key="c6288",
+        paper_name="C6288",
+        description="16x16 array multiplier (substituted: 8x8 array multiplier)",
+        hard=False,
+        build=lambda: array_multiplier_circuit(width=8),
+        paper_conventional_length=1.9e3,
+    )
+)
+_register(
+    BenchmarkCircuit(
+        key="c7552",
+        paper_name="C7552",
+        description="32-bit adder/comparator with parity (substituted: resistant, 2 blocks)",
+        hard=True,
+        build=lambda: c7552_like(width=14, n_blocks=2),
+        paper_conventional_length=4.9e11,
+        paper_optimized_length=1.2e5,
+        paper_conventional_coverage=93.9,
+        paper_optimized_coverage=98.9,
+        paper_pattern_count=4_000,
+        paper_cpu_seconds=2000.0,
+    )
+)
+
+
+def circuit_keys() -> List[str]:
+    """Keys of all registered benchmark circuits (paper order)."""
+    return list(_REGISTRY)
+
+
+def paper_suite() -> List[BenchmarkCircuit]:
+    """All twelve circuits of the paper's Table 1, in the paper's order."""
+    order = [
+        "s1",
+        "s2",
+        "c432",
+        "c499",
+        "c880",
+        "c1355",
+        "c1908",
+        "c2670",
+        "c3540",
+        "c5315",
+        "c6288",
+        "c7552",
+    ]
+    return [_REGISTRY[key] for key in order]
+
+
+def hard_suite() -> List[BenchmarkCircuit]:
+    """The four starred circuits of Tables 2-5 (not random-pattern testable)."""
+    return [entry for entry in paper_suite() if entry.hard]
+
+
+def build_circuit(key: str) -> Circuit:
+    """Instantiate a benchmark circuit by key (case insensitive)."""
+    normalized = key.lower()
+    if normalized not in _REGISTRY:
+        raise KeyError(
+            f"unknown benchmark circuit {key!r}; available: {', '.join(_REGISTRY)}"
+        )
+    return _REGISTRY[normalized].instantiate()

@@ -1,0 +1,102 @@
+"""Synthetic random-pattern-resistant circuits (c2670/c7552-like workloads).
+
+The ISCAS'85 circuits c2670 and c7552 are the two benchmark circuits the paper
+marks as *not* random-pattern testable (Tables 1 and 2): both contain wide
+comparators/decoders buried behind control logic, so a handful of faults have
+detection probabilities of 1e-6 and below under equiprobable inputs.  The
+netlists themselves are not redistributable here, so this module generates
+circuits with the same resistance mechanisms:
+
+* a wide equality comparator between two data buses, gated by an enable cone,
+* a wide "magic opcode" decoder (AND over a specific true/complement mix),
+* a long carry/borrow chain whose end is only observable under the decoder,
+* easy parity/mux logic surrounding everything, so overall fault coverage of a
+  short random test is high-but-not-complete, exactly like Table 2.
+
+``resistant_circuit(width, n_blocks)`` scales both the width of the hard
+detectors and the number of replicated blocks, which is how the benchmark
+harness produces its "c2670-like" and "c7552-like" instances.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..circuit.builder import CircuitBuilder
+from ..circuit.library import and_tree, or_tree, parity_tree, ripple_carry_adder
+from ..circuit.netlist import Circuit
+
+__all__ = ["resistant_circuit", "c2670_like", "c7552_like"]
+
+
+def _hard_block(builder: CircuitBuilder, index: int, width: int) -> List[int]:
+    """One random-pattern-resistant block; returns its output signals."""
+    data_a = builder.input_bus(f"blk{index}_a", width)
+    data_b = builder.input_bus(f"blk{index}_b", width)
+    control = builder.input_bus(f"blk{index}_ctl", max(4, width // 4))
+
+    # Wide equality detector (probability 2^-width of firing under 0.5 inputs).
+    equal = and_tree(builder, [builder.xnor(a, b) for a, b in zip(data_a, data_b)])
+
+    # "Magic opcode" decoder: a specific pattern on the control bus enables the
+    # comparator result to reach the outputs (alternating true/complement).
+    opcode_terms = [
+        bit if position % 2 == 0 else builder.not_(bit)
+        for position, bit in enumerate(control)
+    ]
+    opcode = and_tree(builder, opcode_terms)
+
+    # Long carry chain: its final carry is only observable when the opcode
+    # decoder fires, stacking two low-probability conditions.
+    sums, carry_out = ripple_carry_adder(builder, data_a, data_b)
+    gated_carry = builder.and_(carry_out, opcode)
+    gated_equal = builder.and_(equal, opcode)
+
+    # Easy surrounding logic: parity over the data plus one XOR per sum bit, so
+    # every gate of the carry chain is observable somewhere.
+    parity = parity_tree(builder, data_a + data_b)
+    easy = [builder.xor(s, parity) for s in sums]
+
+    return [gated_equal, gated_carry, builder.or_(equal, parity)] + easy
+
+
+def resistant_circuit(
+    width: int = 12, n_blocks: int = 2, name: str | None = None
+) -> Circuit:
+    """Random-pattern-resistant circuit with ``n_blocks`` hard blocks.
+
+    Args:
+        width: data-bus width of each block (the equality detector fires with
+            probability ``2**-width`` under equiprobable inputs, so this
+            directly sets how resistant the circuit is).
+        n_blocks: number of replicated hard blocks; blocks are cross-coupled
+            through an OR/parity collector so they share observation paths.
+    """
+    if width < 4:
+        raise ValueError("width must be at least 4")
+    if n_blocks < 1:
+        raise ValueError("n_blocks must be at least 1")
+    builder = CircuitBuilder(name or f"resistant_w{width}_b{n_blocks}")
+    block_outputs: List[List[int]] = []
+    for index in range(n_blocks):
+        block_outputs.append(_hard_block(builder, index, width))
+
+    # Cross-block collector: every block's hard outputs are visible both
+    # directly and through a shared OR tree (mild reconvergence).
+    for index, outputs in enumerate(block_outputs):
+        for position, signal in enumerate(outputs):
+            builder.output(signal, f"blk{index}_o{position}")
+    hard_signals = [outputs[0] for outputs in block_outputs]
+    builder.output(or_tree(builder, hard_signals), "any_match")
+    builder.output(parity_tree(builder, [o for outs in block_outputs for o in outs]), "checksum")
+    return builder.build()
+
+
+def c2670_like(width: int = 12) -> Circuit:
+    """A c2670-like instance: one hard comparator block."""
+    return resistant_circuit(width=width, n_blocks=1, name=f"c2670_like_w{width}")
+
+
+def c7552_like(width: int = 14, n_blocks: int = 2) -> Circuit:
+    """A c7552-like instance: wider detectors, two hard blocks."""
+    return resistant_circuit(width=width, n_blocks=n_blocks, name=f"c7552_like_w{width}")

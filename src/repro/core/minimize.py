@@ -1,0 +1,165 @@
+"""Per-coordinate minimization of the objective (paper section 3.2 / formula 15).
+
+Lemma 1: every detection probability is affine in each single input
+probability, ``p_f(X, y|i) = p_f(X,0|i) + y * (p_f(X,1|i) - p_f(X,0|i))``.
+Lemma 3: therefore ``J_N(X, y|i)`` is strictly convex in ``y`` and has exactly
+one minimum in ``[0, 1]``, reachable by the Newton iteration of formula (15):
+
+    ``y := y - J'_N(y) / J''_N(y)``
+
+The minimiser here works purely on the two pre-computed cofactor vectors
+``p0 = p_f(X,0|i)`` and ``p1 = p_f(X,1|i)`` (the PREPARE output), so — as the
+paper points out in observation (2) — its cost is independent of the circuit
+size.  A bisection safeguard keeps the iteration inside the allowed interval
+even when terms underflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["MinimizeResult", "minimize_coordinate", "coordinate_objective"]
+
+
+@dataclass
+class MinimizeResult:
+    """Result of one per-coordinate minimization.
+
+    Attributes:
+        y: the minimizing input probability.
+        objective: (scaled) objective value at ``y`` — only comparable between
+            evaluations with the same ``p0``/``p1``/``n_patterns``.
+        iterations: Newton/bisection steps performed.
+        converged: True if the first-order optimality tolerance was met or the
+            minimum lies at (the clamped) boundary.
+    """
+
+    y: float
+    objective: float
+    iterations: int
+    converged: bool
+
+
+def coordinate_objective(
+    p0: np.ndarray, p1: np.ndarray, n_patterns: float, y: float
+) -> float:
+    """``J_N`` restricted to one coordinate (un-scaled; may underflow to 0)."""
+    probs = p0 + y * (p1 - p0)
+    with np.errstate(under="ignore"):
+        return float(np.exp(-n_patterns * probs).sum())
+
+
+def _derivatives(
+    p0: np.ndarray,
+    delta: np.ndarray,
+    n_patterns: float,
+    y: float,
+) -> Tuple[float, float, float]:
+    """Scaled objective and its first two derivatives with respect to ``y``.
+
+    All three are multiplied by ``exp(n_patterns * min_f p_f(y))``, i.e. the
+    hardest fault's term is rescaled to exactly 1 at the current point.  The
+    common positive factor does not change the sign of the derivatives or the
+    location of the minimum, but it keeps the Newton step well conditioned for
+    any test length ``N`` (the raw terms all underflow once ``N`` is large).
+    """
+    probs = p0 + y * delta
+    shift = float(probs.min())
+    exponent = -n_patterns * (probs - shift)
+    with np.errstate(under="ignore"):
+        terms = np.exp(exponent)
+    value = float(terms.sum())
+    first = float((-n_patterns * delta * terms).sum())
+    second = float(((n_patterns * delta) ** 2 * terms).sum())
+    return value, first, second
+
+
+def minimize_coordinate(
+    p0: Sequence[float],
+    p1: Sequence[float],
+    n_patterns: float,
+    bounds: Tuple[float, float] = (0.01, 0.99),
+    initial: float | None = None,
+    tolerance: float = 1e-6,
+    max_iterations: int = 60,
+) -> MinimizeResult:
+    """Minimise ``J_N`` along one input probability (MINIMIZE of section 4).
+
+    Args:
+        p0: detection probabilities of the (hard) faults with the input pinned
+            to 0, i.e. ``p_f(X, 0|i)``.
+        p1: the same with the input pinned to 1, ``p_f(X, 1|i)``.
+        n_patterns: the current test length ``N``.
+        bounds: allowed interval for the probability.  The paper's Lemma 2
+            shows the optimum is strictly inside ``(0, 1)`` when the fault
+            model contains the primary-input stuck-at faults; the default
+            interval additionally keeps weights realisable by a weighting
+            network.
+        initial: starting point (defaults to the interval midpoint).
+        tolerance: convergence tolerance on the step size and on the scaled
+            gradient.
+        max_iterations: safety cap on iterations.
+    """
+    p0 = np.asarray(list(p0), dtype=float)
+    p1 = np.asarray(list(p1), dtype=float)
+    if p0.shape != p1.shape:
+        raise ValueError("p0 and p1 must have the same length")
+    if p0.size == 0:
+        midpoint = 0.5 * (bounds[0] + bounds[1])
+        return MinimizeResult(midpoint, 0.0, 0, True)
+    low, high = bounds
+    if not 0.0 <= low < high <= 1.0:
+        raise ValueError("bounds must satisfy 0 <= low < high <= 1")
+    delta = p1 - p0
+    if not np.any(delta):
+        # The coordinate does not influence any hard fault; keep the midpoint.
+        midpoint = initial if initial is not None else 0.5 * (low + high)
+        value = coordinate_objective(p0, p1, n_patterns, midpoint)
+        return MinimizeResult(float(np.clip(midpoint, low, high)), value, 0, True)
+
+    # J is strictly convex, so J' is increasing: the minimum is at the lower
+    # bound if J' is already non-negative there, at the upper bound if J' is
+    # still non-positive there, and otherwise at the unique interior root of
+    # J', which a safeguarded Newton/bisection finds.
+    _, gradient_low, _ = _derivatives(p0, delta, n_patterns, low)
+    if gradient_low >= 0.0:
+        return MinimizeResult(low, coordinate_objective(p0, p1, n_patterns, low), 1, True)
+    _, gradient_high, _ = _derivatives(p0, delta, n_patterns, high)
+    if gradient_high <= 0.0:
+        return MinimizeResult(high, coordinate_objective(p0, p1, n_patterns, high), 1, True)
+
+    bracket_low, bracket_high = low, high
+    y = float(initial) if initial is not None else 0.5 * (low + high)
+    y = float(np.clip(y, low, high))
+    iterations = 0
+    converged = False
+    for iterations in range(1, max_iterations + 1):
+        _, gradient, curvature = _derivatives(p0, delta, n_patterns, y)
+        if abs(gradient) <= tolerance or (bracket_high - bracket_low) <= tolerance:
+            converged = True
+            break
+        if gradient < 0.0:
+            bracket_low = y
+        else:
+            bracket_high = y
+        candidate = y - gradient / curvature if curvature > 0.0 else None
+        bracket_width = bracket_high - bracket_low
+        if (
+            candidate is None
+            or not (bracket_low < candidate < bracket_high)
+            or abs(candidate - y) < 0.05 * bracket_width
+        ):
+            # Newton is stalling (one dominant exponential far from the root)
+            # or left the bracket: fall back to bisection, which halves the
+            # bracket and keeps global convergence guaranteed.
+            candidate = 0.5 * (bracket_low + bracket_high)
+        y = candidate
+    else:
+        converged = (bracket_high - bracket_low) <= 10 * tolerance
+
+    y = float(np.clip(y, low, high))
+    value = coordinate_objective(p0, p1, n_patterns, y)
+    return MinimizeResult(y, value, iterations, converged)

@@ -1,0 +1,89 @@
+"""The objective function for input probabilities (paper section 2.3).
+
+For a fault set ``F`` with detection probabilities ``p_f(X)`` and a test of
+length ``N`` drawn according to the input probabilities ``X``:
+
+* formula (1)/(8): the confidence (probability of detecting every fault)
+  is ``c_N(X) = prod_f (1 - (1 - p_f(X))**N)``;
+* formula (9): ``ln c_N(X) ≈ -Σ_f (1-p_f)^N ≈ -Σ_f exp(-N p_f(X))``;
+* formula (10): the *objective function* is therefore
+  ``J_N(X) = Σ_f exp(-N p_f(X))`` and ``X`` is optimal w.r.t. ``N`` when it
+  minimises ``J_N``.
+
+This module provides numerically careful implementations of the confidence,
+of the objective and of the conversions between them, shared by the
+test-length computation (NORMALIZE) and the per-coordinate minimiser.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "test_confidence",
+    "log_test_confidence",
+    "objective_value",
+    "objective_terms",
+    "confidence_from_objective",
+    "objective_from_confidence",
+]
+
+
+def _as_probability_array(detection_probs: Sequence[float]) -> np.ndarray:
+    probs = np.asarray(list(detection_probs), dtype=float)
+    if probs.ndim != 1:
+        raise ValueError("detection probabilities must form a 1-D sequence")
+    if probs.size and (probs.min() < 0.0 or probs.max() > 1.0):
+        raise ValueError("detection probabilities must lie in [0, 1]")
+    return probs
+
+
+def log_test_confidence(detection_probs: Sequence[float], n_patterns: int | float) -> float:
+    """Natural log of the exact confidence of formula (1).
+
+    ``ln c = Σ_f ln(1 - (1-p_f)^N)``; returns ``-inf`` if any fault has
+    detection probability 0 (it can never be detected).
+    """
+    probs = _as_probability_array(detection_probs)
+    if probs.size == 0:
+        return 0.0
+    if np.any(probs <= 0.0):
+        return float("-inf")
+    # (1-p)^N computed in log space to survive very small p and very large N.
+    with np.errstate(divide="ignore"):
+        miss = n_patterns * np.log1p(-np.minimum(probs, 1.0 - 1e-16))
+    escape = np.exp(miss)
+    escape = np.minimum(escape, 1.0 - 1e-16)
+    return float(np.log1p(-escape).sum())
+
+
+def test_confidence(detection_probs: Sequence[float], n_patterns: int | float) -> float:
+    """Exact confidence ``c_N`` of formula (1) (probability all faults detected)."""
+    return float(np.exp(log_test_confidence(detection_probs, n_patterns)))
+
+
+def objective_terms(detection_probs: Sequence[float], n_patterns: int | float) -> np.ndarray:
+    """Per-fault terms ``exp(-N p_f)`` of the objective function."""
+    probs = _as_probability_array(detection_probs)
+    with np.errstate(under="ignore"):
+        return np.exp(-float(n_patterns) * probs)
+
+
+def objective_value(detection_probs: Sequence[float], n_patterns: int | float) -> float:
+    """The objective ``J_N = Σ_f exp(-N p_f)`` (formula (9)/(10))."""
+    return float(objective_terms(detection_probs, n_patterns).sum())
+
+
+def confidence_from_objective(objective: float) -> float:
+    """Approximate confidence corresponding to an objective value
+    (``c ≈ exp(-J_N)``, the approximation used throughout the paper)."""
+    return float(np.exp(-objective))
+
+
+def objective_from_confidence(confidence: float) -> float:
+    """Objective threshold ``Q = -ln(c)`` for a required confidence ``c``."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must lie strictly between 0 and 1")
+    return float(-np.log(confidence))

@@ -1,0 +1,54 @@
+"""Experiment runners regenerating every table and figure of the paper."""
+
+from .suite import (
+    CONFIDENCE,
+    ExperimentCircuit,
+    clear_caches,
+    get_experiment_circuit,
+    load_hard_suite,
+    load_suite,
+    optimized_result,
+)
+from .tables import format_count, format_percent, format_seconds, format_table
+from .table1 import Table1Row, format_table1, run_table1
+from .table2 import Table2Row, format_table2, run_table2
+from .table3 import Table3Row, format_table3, run_table3
+from .table4 import Table4Row, format_table4, run_table4
+from .table5 import Table5Row, format_table5, run_table5
+from .figure2 import Figure2Data, format_figure2, run_figure2
+from .appendix import AppendixListing, format_appendix, run_appendix
+
+__all__ = [
+    "CONFIDENCE",
+    "ExperimentCircuit",
+    "clear_caches",
+    "get_experiment_circuit",
+    "load_suite",
+    "load_hard_suite",
+    "optimized_result",
+    "format_table",
+    "format_count",
+    "format_percent",
+    "format_seconds",
+    "Table1Row",
+    "run_table1",
+    "format_table1",
+    "Table2Row",
+    "run_table2",
+    "format_table2",
+    "Table3Row",
+    "run_table3",
+    "format_table3",
+    "Table4Row",
+    "run_table4",
+    "format_table4",
+    "Table5Row",
+    "run_table5",
+    "format_table5",
+    "Figure2Data",
+    "run_figure2",
+    "format_figure2",
+    "AppendixListing",
+    "run_appendix",
+    "format_appendix",
+]

@@ -1,0 +1,79 @@
+"""Table 1 — necessary test lengths for a conventional random test.
+
+The paper estimates, with PROTEST, the number of equiprobable random patterns
+needed to detect every stuck-at fault with high confidence.  The reproduction
+estimates the same quantity with the COP-based detection-probability estimator
+and the NORMALIZE test-length computation on the substituted circuits.  The
+shape to reproduce: the starred circuits (S1, S2, C2670, C7552) need orders of
+magnitude more patterns than the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..analysis.detection import CopDetectionEstimator
+from ..core.testlength import required_test_length
+from .suite import CONFIDENCE, ExperimentCircuit, load_suite
+from .tables import format_count, format_table
+
+__all__ = ["Table1Row", "run_table1", "format_table1"]
+
+
+@dataclass
+class Table1Row:
+    """One circuit's conventional (equiprobable) test-length estimate."""
+
+    key: str
+    paper_name: str
+    hard: bool
+    n_gates: int
+    n_faults: int
+    measured_length: int
+    paper_length: Optional[float]
+
+
+def _conventional_length(experiment: ExperimentCircuit, confidence: float) -> int:
+    estimator = CopDetectionEstimator()
+    probs = estimator.detection_probabilities(
+        experiment.circuit, experiment.faults, [0.5] * experiment.circuit.n_inputs
+    )
+    return required_test_length(probs, confidence).test_length
+
+
+def run_table1(confidence: float = CONFIDENCE) -> List[Table1Row]:
+    """Compute the Table 1 rows for the whole benchmark suite."""
+    rows: List[Table1Row] = []
+    for experiment in load_suite():
+        rows.append(
+            Table1Row(
+                key=experiment.key,
+                paper_name=experiment.paper_name,
+                hard=experiment.entry.hard,
+                n_gates=experiment.circuit.n_gates,
+                n_faults=len(experiment.faults),
+                measured_length=_conventional_length(experiment, confidence),
+                paper_length=experiment.entry.paper_conventional_length,
+            )
+        )
+    return rows
+
+
+def format_table1(rows: List[Table1Row]) -> str:
+    """Render the reproduction of Table 1."""
+    return format_table(
+        ["circuit", "hard", "gates", "faults", "required length (measured)", "paper"],
+        [
+            [
+                row.paper_name,
+                "*" if row.hard else "",
+                row.n_gates,
+                row.n_faults,
+                format_count(row.measured_length),
+                format_count(row.paper_length),
+            ]
+            for row in rows
+        ],
+        title="Table 1: necessary test lengths for a conventional random test",
+    )

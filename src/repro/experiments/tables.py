@@ -1,0 +1,62 @@
+"""Plain-text table formatting shared by the experiment runners and benches.
+
+The benchmark harness prints every reproduced table in a layout close to the
+paper's, always with the paper's published value next to the measured one so
+the reproduction quality can be judged at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "format_count", "format_percent", "format_seconds"]
+
+
+def format_count(value: Optional[float]) -> str:
+    """Format a (possibly huge) pattern count like the paper: ``5.6e+08``."""
+    if value is None:
+        return "-"
+    if value == float("inf"):
+        return "inf"
+    if value >= 1e5:
+        return f"{value:.1e}"
+    return f"{value:,.0f}"
+
+
+def format_percent(value: Optional[float]) -> str:
+    """Format a fault coverage percentage."""
+    if value is None:
+        return "-"
+    return f"{value:.1f} %"
+
+
+def format_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.1f} s"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an ASCII table with right-aligned numeric-looking columns."""
+    materialised: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header length")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in materialised)
+    return "\n".join(lines)

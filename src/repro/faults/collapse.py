@@ -1,0 +1,156 @@
+"""Structural equivalence fault collapsing.
+
+Fault simulation and detection-probability analysis only need one
+representative per equivalence class of faults.  The classical structural
+rules are applied:
+
+* AND gate: stuck-at-0 on any input is equivalent to stuck-at-0 on the output.
+* NAND gate: stuck-at-0 on any input is equivalent to stuck-at-1 on the output.
+* OR gate: stuck-at-1 on any input is equivalent to stuck-at-1 on the output.
+* NOR gate: stuck-at-1 on any input is equivalent to stuck-at-0 on the output.
+* NOT / BUF: input stuck-at-v is equivalent to output stuck-at-(v xor inverts).
+
+Only fan-out-free connections may be merged across a gate boundary: a fault on
+a *stem* that feeds several gates is not equivalent to the fault on one branch.
+Representatives are chosen to be the fault closest to the primary inputs so
+that primary-input faults (which the paper's fault model must contain) always
+survive collapsing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from ..circuit.gates import GateType
+from ..circuit.netlist import Circuit
+from .model import Fault, full_fault_list
+
+__all__ = ["collapse_faults", "collapsed_fault_list", "CollapseResult"]
+
+
+class _UnionFind:
+    """Minimal union-find over hashable items."""
+
+    def __init__(self) -> None:
+        self._parent: Dict = {}
+
+    def find(self, item):
+        parent = self._parent.setdefault(item, item)
+        if parent == item:
+            return item
+        root = self.find(parent)
+        self._parent[item] = root
+        return root
+
+    def union(self, a, b) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[rb] = ra
+
+    def classes(self) -> Dict:
+        groups: Dict = {}
+        for item in list(self._parent):
+            groups.setdefault(self.find(item), []).append(item)
+        return groups
+
+
+class CollapseResult:
+    """Outcome of fault collapsing.
+
+    Attributes:
+        representatives: one fault per equivalence class (deterministic order).
+        class_of: maps every original fault to its representative.
+        classes: maps a representative to all faults of its class.
+    """
+
+    def __init__(
+        self,
+        representatives: List[Fault],
+        class_of: Dict[Fault, Fault],
+        classes: Dict[Fault, List[Fault]],
+    ):
+        self.representatives = representatives
+        self.class_of = class_of
+        self.classes = classes
+
+    @property
+    def collapse_ratio(self) -> float:
+        """Fraction of faults removed by collapsing."""
+        total = len(self.class_of)
+        if total == 0:
+            return 0.0
+        return 1.0 - len(self.representatives) / total
+
+
+def _equivalences(circuit: Circuit) -> Iterable[Tuple[Fault, Fault]]:
+    """Yield pairs of structurally equivalent (stem) faults."""
+    for gi, gate in enumerate(circuit.gates):
+        out = gate.output
+        for src in gate.inputs:
+            fan_free = len(circuit.fanout_gates(src)) == 1
+            # The fault "seen by this gate" is the branch fault when the source
+            # fans out, otherwise the stem fault on the source net.
+            def seen(value: bool) -> Fault:
+                return Fault(src, value) if fan_free else Fault(src, value, gate=gi)
+
+            if gate.gate_type is GateType.AND:
+                yield seen(False), Fault(out, False)
+            elif gate.gate_type is GateType.NAND:
+                yield seen(False), Fault(out, True)
+            elif gate.gate_type is GateType.OR:
+                yield seen(True), Fault(out, True)
+            elif gate.gate_type is GateType.NOR:
+                yield seen(True), Fault(out, False)
+            elif gate.gate_type is GateType.BUF:
+                yield seen(False), Fault(out, False)
+                yield seen(True), Fault(out, True)
+            elif gate.gate_type is GateType.NOT:
+                yield seen(False), Fault(out, True)
+                yield seen(True), Fault(out, False)
+            # XOR / XNOR input faults are not structurally equivalent to output
+            # faults, so nothing is merged for them.
+
+
+def collapse_faults(circuit: Circuit, faults: Iterable[Fault]) -> CollapseResult:
+    """Collapse an explicit fault list into equivalence-class representatives."""
+    fault_list = list(faults)
+    fault_set = set(fault_list)
+    uf = _UnionFind()
+    for fault in fault_list:
+        uf.find(fault)
+    for a, b in _equivalences(circuit):
+        if a in fault_set and b in fault_set:
+            uf.union(a, b)
+
+    levels = circuit.levels()
+
+    def rank(fault: Fault) -> Tuple:
+        # Prefer primary-input stem faults, then lower logic levels, then
+        # stable tie-breaking on (net, stuck value, branch gate).
+        is_pi = 0 if circuit.is_primary_input(fault.net) and fault.is_stem else 1
+        return (
+            is_pi,
+            levels[fault.net],
+            fault.net,
+            fault.stuck_value,
+            -1 if fault.gate is None else fault.gate,
+        )
+
+    classes_raw = uf.classes()
+    class_of: Dict[Fault, Fault] = {}
+    classes: Dict[Fault, List[Fault]] = {}
+    representatives: List[Fault] = []
+    for members in classes_raw.values():
+        members = sorted(members, key=rank)
+        representative = members[0]
+        representatives.append(representative)
+        classes[representative] = members
+        for member in members:
+            class_of[member] = representative
+    representatives.sort(key=rank)
+    return CollapseResult(representatives, class_of, classes)
+
+
+def collapsed_fault_list(circuit: Circuit, include_branches: bool = True) -> List[Fault]:
+    """Equivalence-collapsed single stuck-at fault list of a circuit."""
+    return collapse_faults(circuit, full_fault_list(circuit, include_branches)).representatives

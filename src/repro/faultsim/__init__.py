@@ -1,0 +1,16 @@
+"""Fault simulation: bit-parallel production simulator and serial reference."""
+
+from .parallel import FaultSimResult, ParallelFaultSimulator
+from .serial import detecting_pattern_count, fault_detected_by, simulate_with_fault
+from .coverage import CoverageExperiment, coverage_curve, random_pattern_coverage
+
+__all__ = [
+    "FaultSimResult",
+    "ParallelFaultSimulator",
+    "fault_detected_by",
+    "simulate_with_fault",
+    "detecting_pattern_count",
+    "CoverageExperiment",
+    "random_pattern_coverage",
+    "coverage_curve",
+]

@@ -1,0 +1,94 @@
+"""Fault-coverage experiments on random pattern streams.
+
+Small convenience layer over :class:`~repro.faultsim.parallel.ParallelFaultSimulator`
+used by the Table 2 / Table 4 benches (coverage at a fixed pattern count) and
+by the Figure 2 bench (coverage as a function of the pattern count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit.netlist import Circuit
+from ..faults.model import Fault
+from ..patterns.weighted import WeightedPatternGenerator
+from .parallel import FaultSimResult, ParallelFaultSimulator
+
+__all__ = ["CoverageExperiment", "random_pattern_coverage", "coverage_curve"]
+
+
+@dataclass
+class CoverageExperiment:
+    """Fault coverage of a random test with given input probabilities.
+
+    Attributes:
+        circuit_name: name of the circuit under test.
+        n_patterns: number of applied random patterns.
+        result: the underlying fault-simulation result.
+        weights: per-input probabilities used to generate the patterns.
+    """
+
+    circuit_name: str
+    n_patterns: int
+    result: FaultSimResult
+    weights: Sequence[float]
+
+    @property
+    def fault_coverage(self) -> float:
+        return self.result.fault_coverage
+
+    @property
+    def fault_coverage_percent(self) -> float:
+        return 100.0 * self.result.fault_coverage
+
+    def curve(self, points: Sequence[int]) -> List[Tuple[int, float]]:
+        return self.result.coverage_curve(points)
+
+
+def random_pattern_coverage(
+    circuit: Circuit,
+    n_patterns: int,
+    weights: Optional[Sequence[float]] = None,
+    faults: Optional[Sequence[Fault]] = None,
+    seed: int = 1987,
+    batch_size: int = 2048,
+) -> CoverageExperiment:
+    """Fault-simulate ``n_patterns`` weighted random patterns.
+
+    Args:
+        circuit: circuit under test.
+        n_patterns: number of random patterns to apply.
+        weights: per-input probability of generating a 1; defaults to the
+            conventional equiprobable test (all 0.5).
+        faults: fault list; defaults to the collapsed stuck-at list.
+        seed: RNG seed (kept fixed so tables are reproducible).
+        batch_size: bit-parallel batch size.
+    """
+    if weights is None:
+        weights = [0.5] * circuit.n_inputs
+    generator = WeightedPatternGenerator(weights, seed=seed)
+    patterns = generator.generate(n_patterns)
+    simulator = ParallelFaultSimulator(circuit, faults)
+    result = simulator.run(patterns, batch_size=batch_size)
+    return CoverageExperiment(circuit.name, n_patterns, result, list(weights))
+
+
+def coverage_curve(
+    experiment: CoverageExperiment, n_points: int = 24
+) -> List[Tuple[int, float]]:
+    """A smooth coverage-vs-pattern-count curve (log-spaced sample points)."""
+    n = experiment.n_patterns
+    if n <= 1:
+        return [(n, experiment.fault_coverage)]
+    points = np.unique(
+        np.concatenate(
+            [
+                np.logspace(0, np.log10(n), n_points).astype(int),
+                np.asarray([n], dtype=int),
+            ]
+        )
+    )
+    return experiment.curve([int(p) for p in points])

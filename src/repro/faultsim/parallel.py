@@ -1,0 +1,254 @@
+"""Bit-parallel fault simulation with fault dropping.
+
+This is the workhorse behind Tables 2 and 4 and Figure 2 of the paper: given a
+stream of (weighted) random patterns, determine which stuck-at faults are
+detected and after how many patterns.  The implementation follows the standard
+parallel-pattern single-fault propagation scheme:
+
+* the fault-free circuit is simulated bit-parallel (64 patterns per word),
+* for every still-undetected fault only the transitive fan-out cone of the
+  fault site is re-simulated with the fault injected,
+* a fault is detected by every pattern for which some primary output differs
+  from the fault-free value, and detected faults are dropped from subsequent
+  batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit.gates import eval_words
+from ..circuit.netlist import Circuit
+from ..faults.collapse import collapsed_fault_list
+from ..faults.model import Fault
+from ..simulation.logicsim import WORD_BITS, LogicSimulator, pack_patterns
+
+__all__ = ["ParallelFaultSimulator", "FaultSimResult"]
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+@dataclass
+class FaultSimResult:
+    """Result of a fault simulation run.
+
+    Attributes:
+        faults: the faults that were simulated (collapsed list).
+        first_detection: maps each detected fault to the (0-based) index of the
+            first pattern that detects it.
+        n_patterns: total number of patterns applied.
+    """
+
+    faults: List[Fault]
+    first_detection: Dict[Fault, int]
+    n_patterns: int
+
+    @property
+    def detected(self) -> List[Fault]:
+        return [f for f in self.faults if f in self.first_detection]
+
+    @property
+    def undetected(self) -> List[Fault]:
+        return [f for f in self.faults if f not in self.first_detection]
+
+    @property
+    def fault_coverage(self) -> float:
+        """Fraction of simulated faults detected by the full pattern set."""
+        if not self.faults:
+            return 1.0
+        return len(self.first_detection) / len(self.faults)
+
+    def coverage_at(self, n_patterns: int) -> float:
+        """Fault coverage achieved by the first ``n_patterns`` patterns."""
+        if not self.faults:
+            return 1.0
+        detected = sum(1 for idx in self.first_detection.values() if idx < n_patterns)
+        return detected / len(self.faults)
+
+    def coverage_curve(self, points: Sequence[int]) -> List[Tuple[int, float]]:
+        """Fault coverage after each pattern count in ``points``."""
+        return [(n, self.coverage_at(n)) for n in points]
+
+    def merged_with(self, other: "FaultSimResult") -> "FaultSimResult":
+        """Combine two runs over the *same* fault list applied back to back.
+
+        ``other``'s patterns are assumed to follow this result's patterns, so
+        its first-detection indices are shifted by ``self.n_patterns``.
+        """
+        if self.faults != other.faults:
+            raise ValueError("results cover different fault lists")
+        combined = dict(self.first_detection)
+        for fault, idx in other.first_detection.items():
+            if fault not in combined:
+                combined[fault] = idx + self.n_patterns
+        return FaultSimResult(self.faults, combined, self.n_patterns + other.n_patterns)
+
+
+class ParallelFaultSimulator:
+    """Parallel-pattern single-fault-propagation fault simulator."""
+
+    def __init__(self, circuit: Circuit, faults: Optional[Sequence[Fault]] = None):
+        self.circuit = circuit
+        self.faults: List[Fault] = (
+            list(faults) if faults is not None else collapsed_fault_list(circuit)
+        )
+        self._logic = LogicSimulator(circuit)
+        self._cone_cache: Dict[Tuple[int, Optional[int]], List[int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Cone handling
+    # ------------------------------------------------------------------ #
+    def _cone(self, fault: Fault) -> List[int]:
+        """Gate indices to resimulate for a fault, in topological order."""
+        key = (fault.net, fault.gate)
+        cone = self._cone_cache.get(key)
+        if cone is None:
+            if fault.is_stem:
+                cone = self.circuit.transitive_fanout_gates(fault.net)
+            else:
+                gate = self.circuit.gates[fault.gate]
+                downstream = self.circuit.transitive_fanout_gates(gate.output)
+                cone = sorted(set([fault.gate] + downstream))
+            self._cone_cache[key] = cone
+        return cone
+
+    # ------------------------------------------------------------------ #
+    # Detection of one fault against one batch
+    # ------------------------------------------------------------------ #
+    def _detection_words(
+        self, fault: Fault, good: np.ndarray, n_words: int
+    ) -> np.ndarray:
+        """Bit mask of patterns (within the batch) detecting ``fault``."""
+        circuit = self.circuit
+        stuck = (
+            np.full(n_words, _ALL_ONES, dtype=np.uint64)
+            if fault.stuck_value
+            else np.zeros(n_words, dtype=np.uint64)
+        )
+        faulty: Dict[int, np.ndarray] = {}
+        if fault.is_stem:
+            if np.array_equal(good[fault.net], stuck):
+                return np.zeros(n_words, dtype=np.uint64)
+            faulty[fault.net] = stuck
+
+        for gi in self._cone(fault):
+            gate = circuit.gates[gi]
+            operands = []
+            for src in gate.inputs:
+                if fault.is_branch and gi == fault.gate and src == fault.net:
+                    operands.append(stuck)
+                else:
+                    operands.append(faulty.get(src, good[src]))
+            value = eval_words(gate.gate_type, operands, n_words)
+            if np.array_equal(value, good[gate.output]):
+                # No divergence on this net; keep reading the good value so the
+                # faulty dictionary stays small.
+                faulty.pop(gate.output, None)
+            else:
+                faulty[gate.output] = value
+
+        detection = np.zeros(n_words, dtype=np.uint64)
+        for out in circuit.outputs:
+            if out in faulty:
+                detection |= faulty[out] ^ good[out]
+            elif fault.is_stem and out == fault.net:
+                detection |= stuck ^ good[out]
+        return detection
+
+    # ------------------------------------------------------------------ #
+    # Public entry points
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        patterns: np.ndarray,
+        drop_detected: bool = True,
+        batch_size: int = 2048,
+    ) -> FaultSimResult:
+        """Fault-simulate a pattern matrix.
+
+        Args:
+            patterns: boolean array ``(n_patterns, n_inputs)``.
+            drop_detected: drop faults from later batches once detected
+                (the normal mode; disable only for diagnostics).
+            batch_size: patterns per bit-parallel batch (rounded up to a
+                multiple of 64 internally).
+
+        Returns:
+            a :class:`FaultSimResult` with first-detection indices.
+        """
+        patterns = np.asarray(patterns, dtype=bool)
+        n_patterns = patterns.shape[0]
+        live: List[Fault] = list(self.faults)
+        first_detection: Dict[Fault, int] = {}
+
+        for start in range(0, n_patterns, batch_size):
+            if not live:
+                break
+            batch = patterns[start : start + batch_size]
+            batch_len = batch.shape[0]
+            n_words = (batch_len + WORD_BITS - 1) // WORD_BITS
+            good = self._logic.simulate_words(pack_patterns(batch))
+            mask = _valid_mask(batch_len, n_words)
+            still_live: List[Fault] = []
+            for fault in live:
+                detection = self._detection_words(fault, good, n_words) & mask
+                if detection.any():
+                    first_detection[fault] = start + _first_set_bit(detection)
+                    if not drop_detected:
+                        still_live.append(fault)
+                else:
+                    still_live.append(fault)
+            live = still_live
+        return FaultSimResult(list(self.faults), first_detection, n_patterns)
+
+    def detection_counts(
+        self, patterns: np.ndarray, batch_size: int = 2048
+    ) -> np.ndarray:
+        """Number of patterns detecting each fault (no fault dropping).
+
+        Dividing by the number of patterns yields the Monte-Carlo estimate of
+        the detection probabilities ``p_f(X)`` used as a validation estimator
+        for the PROTEST-style analysis.
+        """
+        patterns = np.asarray(patterns, dtype=bool)
+        n_patterns = patterns.shape[0]
+        counts = np.zeros(len(self.faults), dtype=np.int64)
+        for start in range(0, n_patterns, batch_size):
+            batch = patterns[start : start + batch_size]
+            batch_len = batch.shape[0]
+            n_words = (batch_len + WORD_BITS - 1) // WORD_BITS
+            good = self._logic.simulate_words(pack_patterns(batch))
+            mask = _valid_mask(batch_len, n_words)
+            for fi, fault in enumerate(self.faults):
+                detection = self._detection_words(fault, good, n_words) & mask
+                counts[fi] += int(
+                    np.unpackbits(detection.view(np.uint8)).sum()
+                )
+        return counts
+
+    def detects(self, fault: Fault, pattern: Sequence[bool]) -> bool:
+        """True if a single pattern detects ``fault`` (convenience for tests)."""
+        result = ParallelFaultSimulator(self.circuit, [fault]).run(
+            np.asarray([pattern], dtype=bool)
+        )
+        return fault in result.first_detection
+
+
+def _valid_mask(n_patterns: int, n_words: int) -> np.ndarray:
+    mask = np.full(n_words, _ALL_ONES, dtype=np.uint64)
+    remainder = n_patterns % WORD_BITS
+    if remainder:
+        mask[-1] = (np.uint64(1) << np.uint64(remainder)) - np.uint64(1)
+    return mask
+
+
+def _first_set_bit(words: np.ndarray) -> int:
+    """Index of the first set bit in a little-endian word array."""
+    for wi, word in enumerate(words):
+        value = int(word)
+        if value:
+            return wi * WORD_BITS + (value & -value).bit_length() - 1
+    raise ValueError("no bit set")

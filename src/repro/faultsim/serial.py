@@ -1,0 +1,61 @@
+"""Serial (one fault, one pattern at a time) reference fault simulator.
+
+Slow but obviously correct: used by the test suite to cross-validate the
+bit-parallel simulator and by small examples where clarity matters more than
+speed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..circuit.gates import eval_bool
+from ..circuit.netlist import Circuit
+from ..faults.model import Fault
+
+__all__ = ["simulate_with_fault", "fault_detected_by", "detecting_pattern_count"]
+
+
+def simulate_with_fault(
+    circuit: Circuit, fault: Fault, input_values: Sequence[bool]
+) -> Dict[int, bool]:
+    """Evaluate one pattern with ``fault`` injected; returns all net values."""
+    if len(input_values) != circuit.n_inputs:
+        raise ValueError(
+            f"expected {circuit.n_inputs} input values, got {len(input_values)}"
+        )
+    values: Dict[int, bool] = {}
+    for net, value in zip(circuit.inputs, input_values):
+        values[net] = bool(value)
+    if fault.is_stem and fault.net in values:
+        values[fault.net] = fault.stuck_value
+    for gi, gate in enumerate(circuit.gates):
+        operands: List[bool] = []
+        for src in gate.inputs:
+            if fault.is_branch and gi == fault.gate and src == fault.net:
+                operands.append(fault.stuck_value)
+            else:
+                operands.append(values[src])
+        value = eval_bool(gate.gate_type, operands)
+        if fault.is_stem and gate.output == fault.net:
+            value = fault.stuck_value
+        values[gate.output] = value
+    return values
+
+
+def fault_detected_by(
+    circuit: Circuit, fault: Fault, input_values: Sequence[bool]
+) -> bool:
+    """True if the pattern produces a different output with the fault present."""
+    from ..simulation.eventsim import evaluate
+
+    good = evaluate(circuit, input_values)
+    bad = simulate_with_fault(circuit, fault, input_values)
+    return any(good[out] != bad[out] for out in circuit.outputs)
+
+
+def detecting_pattern_count(
+    circuit: Circuit, fault: Fault, patterns: Sequence[Sequence[bool]]
+) -> int:
+    """Number of patterns in ``patterns`` that detect ``fault``."""
+    return sum(1 for pattern in patterns if fault_detected_by(circuit, fault, pattern))

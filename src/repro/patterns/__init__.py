@@ -1,0 +1,26 @@
+"""Pattern generation and BIST infrastructure (LFSR, MISR, BILBO, weighting)."""
+
+from .lfsr import LFSR, PRIMITIVE_TAPS, max_sequence_length
+from .misr import MISR, golden_signature
+from .bilbo import SelfTestReport, SelfTestSession, self_test_detects_fault
+from .weighted import (
+    LfsrWeightedPatternGenerator,
+    WeightedPatternGenerator,
+    equiprobable_weights,
+    validate_weights,
+)
+
+__all__ = [
+    "LFSR",
+    "PRIMITIVE_TAPS",
+    "max_sequence_length",
+    "MISR",
+    "golden_signature",
+    "SelfTestReport",
+    "SelfTestSession",
+    "self_test_detects_fault",
+    "WeightedPatternGenerator",
+    "LfsrWeightedPatternGenerator",
+    "equiprobable_weights",
+    "validate_weights",
+]

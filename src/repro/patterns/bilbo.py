@@ -1,0 +1,148 @@
+"""BILBO-style self test session.
+
+Section 5.2 of the paper: "Self test by random patterns is the main goal of the
+optimizing approach.  A self test modul similar to the well known BILBO is
+presented in [Wu86] and [Wu87]."  A BILBO (built-in logic block observer) is a
+register that can act as a pattern generator (LFSR / weighted generator) on the
+circuit inputs and as a signature analyser (MISR) on the circuit outputs.
+
+:class:`SelfTestSession` models a complete self-test run: generate ``N``
+(optionally weighted) random patterns, apply them to the circuit, compact the
+responses into a signature and compare against the fault-free golden
+signature.  :func:`self_test_detects_fault` re-runs the session with a fault
+injected, which is how the BIST examples demonstrate end-to-end detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..circuit.netlist import Circuit
+from ..faults.model import Fault
+from ..faultsim.parallel import ParallelFaultSimulator
+from ..simulation.logicsim import LogicSimulator
+from .lfsr import PRIMITIVE_TAPS
+from .misr import MISR
+from .weighted import LfsrWeightedPatternGenerator, WeightedPatternGenerator
+
+__all__ = ["SelfTestSession", "SelfTestReport", "self_test_detects_fault"]
+
+
+@dataclass
+class SelfTestReport:
+    """Outcome of one self-test run."""
+
+    circuit_name: str
+    n_patterns: int
+    signature: int
+    golden_signature: int
+
+    @property
+    def passed(self) -> bool:
+        """True if the signature matches the fault-free reference."""
+        return self.signature == self.golden_signature
+
+
+class SelfTestSession:
+    """A weighted-random BIST session for a combinational circuit.
+
+    Args:
+        circuit: circuit under test.
+        weights: per-input probabilities; ``None`` means conventional
+            equiprobable patterns.
+        n_patterns: test length N.
+        use_lfsr: if True, patterns come from an LFSR-based weighting network
+            (hardware realistic); otherwise from a software PRNG.
+        misr_width: signature register width (defaults to a tabulated width
+            that holds all primary outputs).
+        seed: seed for the pattern source.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        n_patterns: int,
+        weights: Optional[Sequence[float]] = None,
+        use_lfsr: bool = False,
+        misr_width: Optional[int] = None,
+        seed: int = 1987,
+    ):
+        self.circuit = circuit
+        self.n_patterns = n_patterns
+        self.weights = (
+            list(weights) if weights is not None else [0.5] * circuit.n_inputs
+        )
+        if len(self.weights) != circuit.n_inputs:
+            raise ValueError("one weight per primary input is required")
+        if use_lfsr:
+            self._generator = LfsrWeightedPatternGenerator(self.weights, seed=seed)
+        else:
+            self._generator = WeightedPatternGenerator(self.weights, seed=seed)
+        if misr_width is None:
+            misr_width = next(
+                w for w in sorted(PRIMITIVE_TAPS) if w >= max(2, circuit.n_outputs)
+            )
+        self.misr_width = misr_width
+        self._patterns: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    def patterns(self) -> np.ndarray:
+        """The (cached) pattern matrix applied by this session."""
+        if self._patterns is None:
+            self._patterns = self._generator.generate(self.n_patterns)
+        return self._patterns
+
+    def golden_signature(self) -> int:
+        """Signature of the fault-free circuit."""
+        responses = LogicSimulator(self.circuit).simulate_patterns(self.patterns())
+        return MISR(self.misr_width).compact(responses)
+
+    def run(self, fault: Optional[Fault] = None) -> SelfTestReport:
+        """Execute the self test, optionally with a fault injected."""
+        golden = self.golden_signature()
+        if fault is None:
+            responses = LogicSimulator(self.circuit).simulate_patterns(self.patterns())
+        else:
+            responses = _faulty_responses(self.circuit, fault, self.patterns())
+        signature = MISR(self.misr_width).compact(responses)
+        return SelfTestReport(
+            circuit_name=self.circuit.name,
+            n_patterns=self.n_patterns,
+            signature=signature,
+            golden_signature=golden,
+        )
+
+
+def _faulty_responses(circuit: Circuit, fault: Fault, patterns: np.ndarray) -> np.ndarray:
+    """Output responses of the circuit with ``fault`` injected."""
+    from ..faultsim.serial import simulate_with_fault
+
+    responses = np.zeros((patterns.shape[0], circuit.n_outputs), dtype=bool)
+    for row, pattern in enumerate(patterns):
+        values = simulate_with_fault(circuit, fault, [bool(v) for v in pattern])
+        responses[row] = [values[out] for out in circuit.outputs]
+    return responses
+
+
+def self_test_detects_fault(
+    circuit: Circuit,
+    fault: Fault,
+    n_patterns: int,
+    weights: Optional[Sequence[float]] = None,
+    seed: int = 1987,
+) -> bool:
+    """True if an ``n_patterns`` self-test session exposes ``fault``.
+
+    Uses the bit-parallel fault simulator (signature aliasing ignored), which
+    is the standard approximation when evaluating BIST quality: a fault whose
+    response differs from the fault-free response in at least one pattern is
+    counted as detected.
+    """
+    generator = WeightedPatternGenerator(
+        weights if weights is not None else [0.5] * circuit.n_inputs, seed=seed
+    )
+    result = ParallelFaultSimulator(circuit, [fault]).run(generator.generate(n_patterns))
+    return fault in result.first_detection

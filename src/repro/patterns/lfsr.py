@@ -1,0 +1,157 @@
+"""Linear feedback shift registers (LFSR).
+
+The paper motivates random testing with the fact that patterns "can be
+produced ... by linear feedback shift registers (LFSR) during self test"
+(introduction).  This module provides a Fibonacci-style LFSR with maximal-length
+(primitive) feedback polynomials for all register lengths used by the examples
+and benches, plus helpers to stream bits and whole test patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = ["LFSR", "PRIMITIVE_TAPS", "max_sequence_length"]
+
+
+#: Feedback tap positions (1-based, as usually tabulated) of primitive
+#: polynomials for selected register lengths.  Taken from the standard
+#: maximal-length LFSR tables; each entry yields a sequence of period 2^n - 1.
+PRIMITIVE_TAPS: Dict[int, Sequence[int]] = {
+    2: (2, 1),
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    9: (9, 5),
+    10: (10, 7),
+    11: (11, 9),
+    12: (12, 11, 10, 4),
+    13: (13, 12, 11, 8),
+    14: (14, 13, 12, 2),
+    15: (15, 14),
+    16: (16, 15, 13, 4),
+    17: (17, 14),
+    18: (18, 11),
+    19: (19, 18, 17, 14),
+    20: (20, 17),
+    21: (21, 19),
+    22: (22, 21),
+    23: (23, 18),
+    24: (24, 23, 22, 17),
+    28: (28, 25),
+    32: (32, 22, 2, 1),
+    48: (48, 47, 21, 20),
+    64: (64, 63, 61, 60),
+}
+
+
+def max_sequence_length(width: int) -> int:
+    """Period of a maximal-length LFSR of the given width."""
+    return (1 << width) - 1
+
+
+class LFSR:
+    """Galois (internal-XOR) linear feedback shift register.
+
+    The register shifts right; whenever the bit shifted out is 1 the feedback
+    polynomial mask is XORed into the remaining state.  With a primitive
+    polynomial the state sequence has the maximal period ``2**width - 1``
+    (the all-zero state is excluded).
+
+    Args:
+        width: number of register stages.
+        taps: 1-based feedback tap positions of the primitive polynomial
+            (``x**width + ... + 1``); defaults to :data:`PRIMITIVE_TAPS`.
+        seed: initial register state (must be non-zero); defaults to all ones.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        taps: Sequence[int] | None = None,
+        seed: int | None = None,
+    ):
+        if width < 2:
+            raise ValueError("LFSR width must be at least 2")
+        if taps is None:
+            if width not in PRIMITIVE_TAPS:
+                raise ValueError(
+                    f"no primitive polynomial tabulated for width {width}; "
+                    "pass taps explicitly"
+                )
+            taps = PRIMITIVE_TAPS[width]
+        taps = tuple(sorted(set(taps), reverse=True))
+        if any(t < 1 or t > width for t in taps):
+            raise ValueError(f"tap positions must lie in 1..{width}: {taps}")
+        self.width = width
+        self.taps = taps
+        mask = (1 << width) - 1
+        if seed is None:
+            seed = mask
+        seed &= mask
+        if seed == 0:
+            raise ValueError("LFSR seed must be non-zero")
+        self._mask = mask
+        # Galois feedback mask: one bit per polynomial term x**t (the constant
+        # term corresponds to the bit shifted out and is not part of the mask).
+        self._feedback_mask = 0
+        for tap in taps:
+            self._feedback_mask |= 1 << (tap - 1)
+        self.state = seed
+        self._initial_state = seed
+
+    def reset(self) -> None:
+        """Restore the initial seed state."""
+        self.state = self._initial_state
+
+    def step(self) -> int:
+        """Advance one clock; returns the output bit (stage 1, LSB)."""
+        out = self.state & 1
+        self.state >>= 1
+        if out:
+            self.state ^= self._feedback_mask
+        return out
+
+    def bits(self, count: int) -> List[int]:
+        """Next ``count`` output bits."""
+        return [self.step() for _ in range(count)]
+
+    def states(self, count: int) -> List[int]:
+        """Next ``count`` register states (after each clock)."""
+        result = []
+        for _ in range(count):
+            self.step()
+            result.append(self.state)
+        return result
+
+    def patterns(self, n_patterns: int, n_signals: int) -> np.ndarray:
+        """Serially shifted test patterns, one register load per pattern.
+
+        Emulates the usual scan-based pattern application: ``n_signals`` bits
+        are shifted out of the LFSR per pattern.
+
+        Returns:
+            boolean array of shape ``(n_patterns, n_signals)``.
+        """
+        total = n_patterns * n_signals
+        stream = np.fromiter((self.step() for _ in range(total)), dtype=np.uint8, count=total)
+        return stream.reshape(n_patterns, n_signals).astype(bool)
+
+    def period(self, limit: int | None = None) -> int:
+        """Measure the period of the register (bounded by ``limit``).
+
+        Only intended for small widths in tests; a maximal-length register of
+        width ``w`` returns ``2**w - 1``.
+        """
+        bound = limit if limit is not None else (1 << self.width)
+        start = self.state
+        for count in range(1, bound + 1):
+            self.step()
+            if self.state == start:
+                return count
+        raise RuntimeError("period exceeds the supplied limit")

@@ -1,0 +1,102 @@
+"""Multiple-input signature register (MISR) for test response compaction.
+
+Self test does not compare every output pattern against a stored reference;
+the responses are compacted into a signature by a MISR and only the final
+signature is compared.  This module provides a standard type-2 (internal XOR)
+MISR plus a helper computing the fault-free (golden) signature of a circuit
+for a given pattern stream.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .lfsr import PRIMITIVE_TAPS
+
+__all__ = ["MISR", "golden_signature"]
+
+
+class MISR:
+    """Multiple-input signature register with a primitive feedback polynomial.
+
+    Args:
+        width: register width; must be at least the number of parallel inputs
+            compacted per cycle.
+        taps: optional 1-based feedback taps; defaults to the primitive
+            polynomial tabulated for ``width``.
+        seed: initial register contents.
+    """
+
+    def __init__(self, width: int, taps: Sequence[int] | None = None, seed: int = 0):
+        if width < 2:
+            raise ValueError("MISR width must be at least 2")
+        if taps is None:
+            if width not in PRIMITIVE_TAPS:
+                raise ValueError(
+                    f"no primitive polynomial tabulated for width {width}; pass taps"
+                )
+            taps = PRIMITIVE_TAPS[width]
+        self.width = width
+        self.taps = tuple(sorted(set(taps), reverse=True))
+        self._mask = (1 << width) - 1
+        self.state = seed & self._mask
+        self._initial_state = self.state
+
+    def reset(self) -> None:
+        self.state = self._initial_state
+
+    def compact_word(self, response_bits: int) -> int:
+        """Shift one response word (an integer of up to ``width`` bits) in."""
+        feedback = 0
+        for tap in self.taps:
+            feedback ^= (self.state >> (tap - 1)) & 1
+        self.state = (((self.state << 1) | feedback) ^ response_bits) & self._mask
+        return self.state
+
+    def compact(self, responses: np.ndarray) -> int:
+        """Compact a boolean response matrix ``(n_patterns, n_outputs)``.
+
+        Returns the final signature.
+        """
+        responses = np.asarray(responses, dtype=bool)
+        if responses.ndim != 2:
+            raise ValueError("responses must be 2-D (n_patterns, n_outputs)")
+        if responses.shape[1] > self.width:
+            raise ValueError(
+                f"MISR of width {self.width} cannot compact "
+                f"{responses.shape[1]} parallel outputs"
+            )
+        for row in responses:
+            word = 0
+            for bit_index, bit in enumerate(row):
+                if bit:
+                    word |= 1 << bit_index
+            self.compact_word(word)
+        return self.state
+
+    @property
+    def signature(self) -> int:
+        return self.state
+
+
+def golden_signature(circuit, patterns: np.ndarray, width: int | None = None, seed: int = 0) -> int:
+    """Fault-free signature of ``circuit`` for a pattern matrix.
+
+    Args:
+        circuit: a :class:`~repro.circuit.netlist.Circuit`.
+        patterns: boolean pattern matrix ``(n_patterns, n_inputs)``.
+        width: MISR width; defaults to the smallest tabulated width that holds
+            all primary outputs.
+        seed: MISR seed.
+    """
+    from ..simulation.logicsim import LogicSimulator
+
+    if width is None:
+        width = next(
+            w for w in sorted(PRIMITIVE_TAPS) if w >= max(2, circuit.n_outputs)
+        )
+    responses = LogicSimulator(circuit).simulate_patterns(patterns)
+    misr = MISR(width, seed=seed)
+    return misr.compact(responses)

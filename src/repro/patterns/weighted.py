@@ -1,0 +1,126 @@
+"""Weighted (unequiprobable) random pattern generation.
+
+The result of the paper's optimization is one probability per primary input
+(the appendix lists them on a 0.05 grid).  Two generators realise such a
+distribution:
+
+* :class:`WeightedPatternGenerator` — software generator drawing each input
+  independently with its own probability (used for fault simulation and for
+  "off the chip" pattern generation, section 5.2);
+* :class:`LfsrWeightedPatternGenerator` — hardware-realistic generator that
+  derives each weighted bit from ``resolution`` equiprobable LFSR bits through
+  a threshold comparison, i.e. weights are quantized to multiples of
+  ``2**-resolution`` exactly as a BIST weighting network would.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .lfsr import LFSR
+
+__all__ = [
+    "WeightedPatternGenerator",
+    "LfsrWeightedPatternGenerator",
+    "equiprobable_weights",
+    "validate_weights",
+]
+
+
+def equiprobable_weights(n_inputs: int) -> List[float]:
+    """The conventional random-test distribution: every input probability 0.5."""
+    return [0.5] * n_inputs
+
+
+def validate_weights(weights: Sequence[float]) -> np.ndarray:
+    """Validate and convert a weight vector to a float array in [0, 1]."""
+    array = np.asarray(list(weights), dtype=float)
+    if array.ndim != 1 or array.size == 0:
+        raise ValueError("weights must be a non-empty 1-D sequence")
+    if np.any(array < 0.0) or np.any(array > 1.0):
+        raise ValueError("weights must lie in [0, 1]")
+    return array
+
+
+class WeightedPatternGenerator:
+    """Draw random patterns with an independent probability per input.
+
+    Args:
+        weights: probability of a logical 1 for each primary input.
+        seed: seed of the underlying PRNG; fixed seeds make the experiment
+            tables reproducible run to run.
+    """
+
+    def __init__(self, weights: Sequence[float], seed: int = 0):
+        self.weights = validate_weights(weights)
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def n_inputs(self) -> int:
+        return int(self.weights.size)
+
+    def reset(self) -> None:
+        """Restart the pattern stream from the seed."""
+        self._rng = np.random.default_rng(self.seed)
+
+    def generate(self, n_patterns: int) -> np.ndarray:
+        """Generate ``n_patterns`` patterns as a boolean matrix."""
+        if n_patterns < 0:
+            raise ValueError("n_patterns must be non-negative")
+        uniform = self._rng.random((n_patterns, self.n_inputs))
+        return uniform < self.weights[None, :]
+
+    def generate_stream(self, n_patterns: int, chunk: int = 4096):
+        """Yield pattern matrices of at most ``chunk`` rows until ``n_patterns``."""
+        remaining = n_patterns
+        while remaining > 0:
+            take = min(chunk, remaining)
+            yield self.generate(take)
+            remaining -= take
+
+
+class LfsrWeightedPatternGenerator:
+    """LFSR-based weighted generator with quantized weights.
+
+    Every output bit consumes ``resolution`` successive LFSR bits, interprets
+    them as a binary fraction ``r / 2**resolution`` and outputs 1 when
+    ``r < round(weight * 2**resolution)``.  This mirrors a hardware weighting
+    network: achievable weights are multiples of ``2**-resolution`` and the
+    source of randomness is a single maximal-length LFSR.
+    """
+
+    def __init__(
+        self,
+        weights: Sequence[float],
+        resolution: int = 5,
+        lfsr_width: int = 32,
+        seed: int | None = None,
+    ):
+        if not 1 <= resolution <= 16:
+            raise ValueError("resolution must be between 1 and 16 bits")
+        self.weights = validate_weights(weights)
+        self.resolution = resolution
+        self.thresholds = np.rint(self.weights * (1 << resolution)).astype(int)
+        self._lfsr = LFSR(lfsr_width, seed=seed)
+
+    @property
+    def n_inputs(self) -> int:
+        return int(self.weights.size)
+
+    def realized_weights(self) -> np.ndarray:
+        """The weights actually produced after quantization."""
+        return self.thresholds / float(1 << self.resolution)
+
+    def generate(self, n_patterns: int) -> np.ndarray:
+        """Generate ``n_patterns`` patterns as a boolean matrix."""
+        n_bits = n_patterns * self.n_inputs * self.resolution
+        stream = np.fromiter(
+            (self._lfsr.step() for _ in range(n_bits)), dtype=np.uint8, count=n_bits
+        )
+        groups = stream.reshape(n_patterns, self.n_inputs, self.resolution)
+        powers = 1 << np.arange(self.resolution - 1, -1, -1)
+        values = (groups * powers).sum(axis=2)
+        return values < self.thresholds[None, :]

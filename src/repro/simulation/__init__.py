@@ -1,0 +1,14 @@
+"""True-value simulation: bit-parallel (production) and scalar (reference)."""
+
+from .logicsim import WORD_BITS, LogicSimulator, pack_patterns, unpack_values
+from .eventsim import evaluate, evaluate_named, exhaustive_truth_table
+
+__all__ = [
+    "WORD_BITS",
+    "LogicSimulator",
+    "pack_patterns",
+    "unpack_values",
+    "evaluate",
+    "evaluate_named",
+    "exhaustive_truth_table",
+]

@@ -1,0 +1,83 @@
+"""Scalar reference simulator.
+
+A deliberately simple, dictionary-based simulator used to cross-validate the
+bit-parallel simulator and the probability estimators in tests, and to provide
+single-pattern evaluation with named nets for the examples.  It also supports
+forcing arbitrary nets to fixed values, which is how the serial (reference)
+fault simulator injects stuck-at faults.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+from ..circuit.gates import eval_bool
+from ..circuit.netlist import Circuit
+
+__all__ = ["evaluate", "evaluate_named", "exhaustive_truth_table"]
+
+
+def evaluate(
+    circuit: Circuit,
+    input_values: Sequence[bool],
+    forced_nets: Optional[Mapping[int, bool]] = None,
+) -> Dict[int, bool]:
+    """Evaluate one pattern and return the value of every net.
+
+    Args:
+        circuit: the network to simulate.
+        input_values: one boolean per primary input, in :attr:`Circuit.inputs`
+            order.
+        forced_nets: optional mapping ``net id -> value`` overriding the
+            computed value of those nets (stuck-at fault injection).
+
+    Returns:
+        mapping from net id to boolean value.
+    """
+    if len(input_values) != circuit.n_inputs:
+        raise ValueError(
+            f"expected {circuit.n_inputs} input values, got {len(input_values)}"
+        )
+    forced = dict(forced_nets or {})
+    values: Dict[int, bool] = {}
+    for net, value in zip(circuit.inputs, input_values):
+        values[net] = forced.get(net, bool(value))
+    for gate in circuit.gates:
+        if gate.output in forced:
+            values[gate.output] = forced[gate.output]
+            continue
+        operands = [values[src] for src in gate.inputs]
+        values[gate.output] = eval_bool(gate.gate_type, operands)
+    return values
+
+
+def evaluate_named(
+    circuit: Circuit, assignment: Mapping[str, bool]
+) -> Dict[str, bool]:
+    """Evaluate one pattern given input values by net *name*.
+
+    Returns a mapping from primary output name to value.
+    """
+    input_values = []
+    for net in circuit.inputs:
+        name = circuit.net_name(net)
+        if name not in assignment:
+            raise KeyError(f"missing value for primary input {name!r}")
+        input_values.append(bool(assignment[name]))
+    values = evaluate(circuit, input_values)
+    return {circuit.net_name(out): values[out] for out in circuit.outputs}
+
+
+def exhaustive_truth_table(circuit: Circuit) -> Iterable[tuple]:
+    """Yield ``(input_tuple, output_tuple)`` for every input combination.
+
+    Only sensible for circuits with a small number of inputs (tests and the
+    exact probability computations use it for up to ~16 inputs).
+    """
+    n = circuit.n_inputs
+    if n > 20:
+        raise ValueError(f"refusing exhaustive enumeration of {n} inputs")
+    for code in range(1 << n):
+        pattern = tuple(bool((code >> bit) & 1) for bit in range(n))
+        values = evaluate(circuit, pattern)
+        yield pattern, tuple(values[out] for out in circuit.outputs)

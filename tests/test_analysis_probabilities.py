@@ -1,0 +1,153 @@
+"""Tests for signal probability propagation, exact values and cutting bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    bounds_for_net,
+    exact_signal_probability,
+    input_probability_vector,
+    measured_signal_probabilities,
+    probability_bounds,
+    signal_probabilities,
+    signal_probability,
+)
+from repro.circuit import CircuitBuilder, parse_bench
+
+from .helpers import C17_BENCH, and_or_tree_circuit, half_adder_circuit, mux_circuit, random_circuit
+
+
+class TestInputProbabilityVector:
+    def test_scalar_broadcast(self):
+        circuit = half_adder_circuit()
+        vector = input_probability_vector(circuit, 0.3)
+        assert np.allclose(vector, [0.3, 0.3])
+
+    def test_mapping_by_name_with_default(self):
+        circuit = half_adder_circuit()
+        vector = input_probability_vector(circuit, {"a": 0.9})
+        assert vector[0] == pytest.approx(0.9)
+        assert vector[1] == pytest.approx(0.5)
+
+    def test_mapping_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            input_probability_vector(half_adder_circuit(), {"zz": 0.9})
+
+    def test_sequence_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            input_probability_vector(half_adder_circuit(), [0.5])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            input_probability_vector(half_adder_circuit(), [0.5, 1.5])
+
+
+class TestSignalProbabilities:
+    def test_fanout_free_circuit_is_exact(self):
+        """On a tree the COP propagation equals the exact probability
+        (the Agrawal/Agrawal case the paper cites)."""
+        circuit = and_or_tree_circuit()
+        for probs in (0.5, [0.2, 0.7, 0.4, 0.9]):
+            estimated = signal_probabilities(circuit, probs)
+            for net in range(circuit.n_nets):
+                exact = exact_signal_probability(circuit, net, probs)
+                assert estimated[net] == pytest.approx(exact)
+
+    def test_half_adder_values(self):
+        circuit = half_adder_circuit()
+        probs = signal_probabilities(circuit, 0.5)
+        assert probs[circuit.net_index("sum")] == pytest.approx(0.5)
+        assert probs[circuit.net_index("carry")] == pytest.approx(0.25)
+
+    def test_named_single_net_helper(self):
+        circuit = half_adder_circuit()
+        assert signal_probability(circuit, "carry", 0.5) == pytest.approx(0.25)
+
+    def test_overrides_pin_a_net(self):
+        circuit = half_adder_circuit()
+        carry = circuit.net_index("carry")
+        probs = signal_probabilities(circuit, 0.5, overrides={circuit.inputs[0]: 1.0})
+        assert probs[carry] == pytest.approx(0.5)
+
+    def test_mux_reconvergence_introduces_error(self):
+        """COP is only an estimate under reconvergent fan-out; the error on the
+        2:1 mux output is the classic example (estimate 0.5625 vs exact 0.5)."""
+        circuit = mux_circuit()
+        out = circuit.outputs[0]
+        estimate = signal_probabilities(circuit, 0.5)[out]
+        exact = exact_signal_probability(circuit, out, 0.5)
+        assert exact == pytest.approx(0.5)
+        assert estimate != pytest.approx(exact)
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_probabilities_stay_in_unit_interval(self, seed):
+        rng = np.random.default_rng(seed)
+        circuit = random_circuit(rng, n_inputs=5, n_gates=12)
+        weights = rng.random(circuit.n_inputs)
+        probs = signal_probabilities(circuit, weights)
+        assert np.all(probs >= 0.0) and np.all(probs <= 1.0)
+
+    def test_measured_probabilities_close_to_exact_on_tree(self):
+        circuit = and_or_tree_circuit()
+        measured = measured_signal_probabilities(circuit, [0.5] * 4, n_samples=4096, seed=3)
+        analytic = signal_probabilities(circuit, 0.5)
+        assert np.allclose(measured, analytic, atol=0.05)
+
+
+class TestExact:
+    def test_exact_uses_only_support(self):
+        builder = CircuitBuilder("partial")
+        a = builder.input("a")
+        b = builder.input("b")
+        builder.output(builder.and_(a, b), "y")
+        # 30 irrelevant inputs must not blow up the enumeration.
+        for k in range(30):
+            builder.output(builder.buf(builder.input(f"x{k}")), f"o{k}")
+        circuit = builder.build()
+        assert exact_signal_probability(circuit, "y", 0.5) == pytest.approx(0.25)
+
+    def test_exact_respects_weights(self):
+        circuit = half_adder_circuit()
+        value = exact_signal_probability(circuit, "carry", [0.25, 0.75])
+        assert value == pytest.approx(0.25 * 0.75)
+
+    def test_exact_refuses_huge_supports(self):
+        from repro.circuits import s1_comparator
+
+        circuit = s1_comparator(width=24)
+        with pytest.raises(ValueError, match="refused"):
+            exact_signal_probability(circuit, circuit.outputs[0], 0.5)
+
+
+class TestCuttingBounds:
+    def test_bounds_bracket_exact_on_c17(self):
+        circuit = parse_bench(C17_BENCH, name="c17")
+        lower, upper = probability_bounds(circuit, 0.5)
+        for net in range(circuit.n_nets):
+            exact = exact_signal_probability(circuit, net, 0.5)
+            assert lower[net] - 1e-12 <= exact <= upper[net] + 1e-12
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_bounds_bracket_exact_on_random_circuits(self, seed):
+        rng = np.random.default_rng(seed)
+        circuit = random_circuit(rng, n_inputs=5, n_gates=10)
+        weights = np.round(rng.random(circuit.n_inputs), 3)
+        lower, upper = probability_bounds(circuit, weights)
+        for net in range(circuit.n_nets):
+            exact = exact_signal_probability(circuit, net, weights)
+            assert lower[net] - 1e-9 <= exact <= upper[net] + 1e-9
+
+    def test_bounds_tight_on_trees(self):
+        circuit = and_or_tree_circuit()
+        lower, upper = probability_bounds(circuit, 0.5)
+        assert np.allclose(lower, upper)
+
+    def test_bounds_for_named_net(self):
+        circuit = mux_circuit()
+        low, high = bounds_for_net(circuit, "y", 0.5)
+        assert low <= exact_signal_probability(circuit, "y", 0.5) <= high
+        assert high - low > 0.0  # the cut makes the interval non-degenerate

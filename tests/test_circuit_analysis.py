@@ -1,0 +1,86 @@
+"""Tests for structural circuit analysis (fan-out, reconvergence, statistics)."""
+
+from repro.circuit import CircuitBuilder, circuit_stats, has_reconvergent_fanout
+from repro.circuit.analysis import (
+    cone_sizes,
+    fanout_counts,
+    fanout_stems,
+    max_fanin,
+    reconvergent_stems,
+)
+from repro.circuits import s1_comparator
+
+from .helpers import and_or_tree_circuit, half_adder_circuit, mux_circuit
+
+
+class TestFanout:
+    def test_half_adder_has_fanout_stems(self):
+        circuit = half_adder_circuit()
+        # Both inputs feed the XOR and the AND gates.
+        assert set(fanout_stems(circuit)) == set(circuit.inputs)
+
+    def test_fanout_counts_sum_equals_total_gate_inputs(self):
+        circuit = mux_circuit()
+        assert sum(fanout_counts(circuit)) == sum(g.arity for g in circuit.gates)
+
+    def test_tree_circuit_has_no_stems(self):
+        circuit = and_or_tree_circuit()
+        assert fanout_stems(circuit) == []
+
+
+class TestReconvergence:
+    def test_tree_is_not_reconvergent(self):
+        assert not has_reconvergent_fanout(and_or_tree_circuit())
+
+    def test_mux_is_reconvergent(self):
+        # The select input fans out to both AND branches which reconverge at the OR.
+        assert has_reconvergent_fanout(mux_circuit())
+
+    def test_half_adder_is_not_reconvergent(self):
+        # a and b each feed two gates, but the XOR and AND outputs never meet.
+        assert not has_reconvergent_fanout(half_adder_circuit())
+
+    def test_reconvergent_stems_identifies_select(self):
+        circuit = mux_circuit()
+        stems = reconvergent_stems(circuit)
+        assert circuit.net_index("sel") in stems
+
+    def test_explicit_reconvergence_through_two_levels(self):
+        builder = CircuitBuilder("deep_reconv")
+        a = builder.input("a")
+        b = builder.input("b")
+        left = builder.not_(a)
+        right = builder.buf(a)
+        builder.output(builder.and_(builder.or_(left, b), builder.or_(right, b)), "y")
+        circuit = builder.build()
+        assert has_reconvergent_fanout(circuit)
+
+
+class TestStats:
+    def test_stats_fields_consistent(self):
+        circuit = s1_comparator(width=8)
+        stats = circuit_stats(circuit)
+        assert stats.n_inputs == 16
+        assert stats.n_outputs == 3
+        assert stats.n_gates == circuit.n_gates
+        assert stats.depth == circuit.depth
+        assert stats.max_fanin >= 2
+        assert stats.max_fanout >= 2
+        assert stats.n_reconvergent_stems <= stats.n_fanout_stems
+        assert stats.max_output_support == 16
+
+    def test_as_dict_keys(self):
+        stats = circuit_stats(half_adder_circuit())
+        data = stats.as_dict()
+        assert data["inputs"] == 2 and data["gates"] == 2
+
+    def test_cone_sizes_per_output(self):
+        circuit = half_adder_circuit()
+        sizes = cone_sizes(circuit)
+        assert all(size == 2 for size in sizes.values())
+
+    def test_max_fanin(self):
+        builder = CircuitBuilder("wide")
+        bus = builder.input_bus("x", 6)
+        builder.output(builder.and_(*bus), "y")
+        assert max_fanin(builder.build()) == 6

@@ -1,0 +1,100 @@
+"""Tests for .bench parsing and writing."""
+
+import pytest
+
+from repro.circuit import GateType, parse_bench, write_bench
+from repro.circuit.bench import BenchParseError, parse_bench_file, write_bench_file
+from repro.circuits import s1_comparator
+from repro.simulation import evaluate_named, exhaustive_truth_table
+
+from .helpers import C17_BENCH, half_adder_circuit
+
+
+class TestParsing:
+    def test_c17_structure(self):
+        circuit = parse_bench(C17_BENCH, name="c17")
+        assert circuit.n_inputs == 5
+        assert circuit.n_outputs == 2
+        assert circuit.n_gates == 6
+        assert all(g.gate_type is GateType.NAND for g in circuit.gates)
+
+    def test_c17_function_spot_check(self):
+        circuit = parse_bench(C17_BENCH, name="c17")
+        # G22 = NAND(NAND(G1,G3), NAND(G2, NAND(G3,G6)))
+        out = evaluate_named(
+            circuit, {"G1": True, "G2": False, "G3": True, "G6": False, "G7": False}
+        )
+        assert out["G22"] is True
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# header\n\nINPUT(a)\n# mid comment\nOUTPUT(y)\ny = NOT(a) # trailing\n"
+        circuit = parse_bench(text)
+        assert circuit.n_gates == 1
+
+    def test_out_of_order_gates_are_sorted(self):
+        text = """
+        INPUT(a)
+        INPUT(b)
+        OUTPUT(y)
+        y = AND(t, b)
+        t = NOT(a)
+        """
+        circuit = parse_bench(text)
+        circuit.validate()
+        assert evaluate_named(circuit, {"a": False, "b": True})["y"] is True
+
+    def test_gate_alias_inv_and_buff(self):
+        text = "INPUT(a)\nOUTPUT(y)\nt = BUFF(a)\ny = INV(t)\n"
+        circuit = parse_bench(text)
+        assert circuit.driver_of(circuit.net_index("y")).gate_type is GateType.NOT
+
+    def test_missing_inputs_rejected(self):
+        with pytest.raises(BenchParseError, match="no INPUT"):
+            parse_bench("OUTPUT(y)\ny = NOT(y)\n")
+
+    def test_missing_outputs_rejected(self):
+        with pytest.raises(BenchParseError, match="no OUTPUT"):
+            parse_bench("INPUT(a)\nt = NOT(a)\n")
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(BenchParseError, match="unknown gate type"):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = FOO(a)\n")
+
+    def test_undriven_output_rejected(self):
+        with pytest.raises(BenchParseError, match="never driven"):
+            parse_bench("INPUT(a)\nOUTPUT(z)\ny = NOT(a)\n")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(BenchParseError, match="cannot parse"):
+            parse_bench("INPUT(a)\nOUTPUT(y)\nthis is not a netlist line\ny = NOT(a)\n")
+
+    def test_cyclic_netlist_rejected(self):
+        text = "INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\nz = NOT(y)\n"
+        with pytest.raises(BenchParseError):
+            parse_bench(text)
+
+
+class TestRoundTrip:
+    def test_half_adder_roundtrip_function_preserved(self):
+        original = half_adder_circuit()
+        rebuilt = parse_bench(write_bench(original), name="half_adder_rt")
+        assert list(exhaustive_truth_table(original)) == list(exhaustive_truth_table(rebuilt))
+
+    def test_c17_roundtrip(self):
+        original = parse_bench(C17_BENCH, name="c17")
+        rebuilt = parse_bench(write_bench(original), name="c17_rt")
+        assert list(exhaustive_truth_table(original)) == list(exhaustive_truth_table(rebuilt))
+
+    def test_generated_circuit_roundtrip_structure(self):
+        original = s1_comparator(width=6)
+        rebuilt = parse_bench(write_bench(original), name="s1_rt")
+        assert rebuilt.n_inputs == original.n_inputs
+        assert rebuilt.n_outputs == original.n_outputs
+
+    def test_file_roundtrip(self, tmp_path):
+        original = half_adder_circuit()
+        path = tmp_path / "ha.bench"
+        write_bench_file(original, path)
+        rebuilt = parse_bench_file(path)
+        assert rebuilt.name == "ha"
+        assert rebuilt.n_gates == original.n_gates

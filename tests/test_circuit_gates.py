@@ -1,0 +1,145 @@
+"""Unit and property tests for gate primitives (boolean / word / probability)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.gates import (
+    GateType,
+    controlling_value,
+    eval_bool,
+    eval_probability,
+    eval_words,
+    inversion_parity,
+    parse_gate_type,
+    validate_arity,
+)
+
+MULTI_INPUT_GATES = [
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+]
+
+
+class TestEvalBool:
+    def test_and_truth_table(self):
+        assert eval_bool(GateType.AND, [True, True]) is True
+        assert eval_bool(GateType.AND, [True, False]) is False
+
+    def test_nand_is_complement_of_and(self):
+        for a in (False, True):
+            for b in (False, True):
+                assert eval_bool(GateType.NAND, [a, b]) == (not eval_bool(GateType.AND, [a, b]))
+
+    def test_or_nor(self):
+        assert eval_bool(GateType.OR, [False, False]) is False
+        assert eval_bool(GateType.NOR, [False, False]) is True
+
+    def test_xor_parity_of_three(self):
+        assert eval_bool(GateType.XOR, [True, True, True]) is True
+        assert eval_bool(GateType.XNOR, [True, True, True]) is False
+
+    def test_not_and_buf(self):
+        assert eval_bool(GateType.NOT, [True]) is False
+        assert eval_bool(GateType.BUF, [True]) is True
+
+    def test_constants(self):
+        assert eval_bool(GateType.CONST0, []) is False
+        assert eval_bool(GateType.CONST1, []) is True
+
+
+class TestArityAndMetadata:
+    def test_not_rejects_two_inputs(self):
+        with pytest.raises(ValueError):
+            validate_arity(GateType.NOT, 2)
+
+    def test_const_rejects_inputs(self):
+        with pytest.raises(ValueError):
+            validate_arity(GateType.CONST0, 1)
+
+    def test_and_accepts_many_inputs(self):
+        validate_arity(GateType.AND, 12)
+
+    def test_controlling_values(self):
+        assert controlling_value(GateType.AND) is False
+        assert controlling_value(GateType.NOR) is True
+        assert controlling_value(GateType.XOR) is None
+
+    def test_inversion_parity(self):
+        assert inversion_parity(GateType.NAND)
+        assert not inversion_parity(GateType.OR)
+
+    def test_parse_gate_type_aliases(self):
+        assert parse_gate_type("inv") is GateType.NOT
+        assert parse_gate_type("BUFF") is GateType.BUF
+        assert parse_gate_type("nand") is GateType.NAND
+
+    def test_parse_gate_type_unknown(self):
+        with pytest.raises(ValueError):
+            parse_gate_type("MAJORITY3")
+
+
+@given(
+    gate=st.sampled_from(MULTI_INPUT_GATES),
+    inputs=st.lists(st.booleans(), min_size=1, max_size=5),
+)
+@settings(max_examples=200)
+def test_word_evaluation_matches_boolean(gate, inputs):
+    """Bit-parallel evaluation agrees with the scalar boolean evaluation."""
+    words = [np.array([np.uint64(0xFFFFFFFFFFFFFFFF) if bit else np.uint64(0)]) for bit in inputs]
+    result = eval_words(gate, words, 1)
+    expected = eval_bool(gate, inputs)
+    assert bool(result[0] & np.uint64(1)) == expected
+
+
+@given(
+    gate=st.sampled_from(MULTI_INPUT_GATES),
+    inputs=st.lists(st.booleans(), min_size=1, max_size=5),
+)
+@settings(max_examples=200)
+def test_probability_embedding_matches_boolean_at_corners(gate, inputs):
+    """The arithmetical embedding evaluated at {0,1} reproduces the boolean value
+    (formula (4) of the paper)."""
+    probabilities = [1.0 if bit else 0.0 for bit in inputs]
+    value = eval_probability(gate, probabilities)
+    assert value == pytest.approx(1.0 if eval_bool(gate, inputs) else 0.0)
+
+
+@given(
+    gate=st.sampled_from(MULTI_INPUT_GATES),
+    probs=st.lists(st.floats(0.0, 1.0), min_size=1, max_size=4),
+)
+@settings(max_examples=200)
+def test_probability_embedding_stays_in_unit_interval(gate, probs):
+    value = eval_probability(gate, probs)
+    assert 0.0 <= value <= 1.0
+
+
+@given(probs=st.lists(st.floats(0.0, 1.0), min_size=2, max_size=4))
+@settings(max_examples=100)
+def test_complement_gates_sum_to_one(probs):
+    """P(NAND) = 1 - P(AND) and P(NOR) = 1 - P(OR) under the embedding."""
+    assert eval_probability(GateType.NAND, probs) == pytest.approx(
+        1.0 - eval_probability(GateType.AND, probs)
+    )
+    assert eval_probability(GateType.NOR, probs) == pytest.approx(
+        1.0 - eval_probability(GateType.OR, probs)
+    )
+
+
+def test_eval_words_does_not_mutate_inputs():
+    word = np.array([np.uint64(0b1010)])
+    other = np.array([np.uint64(0b0110)])
+    eval_words(GateType.AND, [word, other], 1)
+    assert word[0] == np.uint64(0b1010)
+    assert other[0] == np.uint64(0b0110)
+
+
+def test_unknown_gate_type_raises():
+    with pytest.raises(ValueError):
+        eval_bool("NOT_A_GATE", [True])  # type: ignore[arg-type]

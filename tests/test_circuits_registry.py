@@ -1,0 +1,59 @@
+"""Tests for the benchmark circuit registry."""
+
+import pytest
+
+from repro.circuits import BenchmarkCircuit, build_circuit, circuit_keys, hard_suite, paper_suite
+
+
+class TestRegistry:
+    def test_twelve_circuits_in_paper_order(self):
+        suite = paper_suite()
+        assert len(suite) == 12
+        assert [entry.paper_name for entry in suite[:2]] == ["S1", "S2"]
+        assert suite[-1].paper_name == "C7552"
+
+    def test_four_hard_circuits(self):
+        hard = hard_suite()
+        assert {entry.key for entry in hard} == {"s1", "s2", "c2670", "c7552"}
+        assert all(entry.hard for entry in hard)
+
+    def test_hard_circuits_have_full_paper_metadata(self):
+        for entry in hard_suite():
+            assert entry.paper_conventional_length is not None
+            assert entry.paper_optimized_length is not None
+            assert entry.paper_conventional_coverage is not None
+            assert entry.paper_optimized_coverage is not None
+            assert entry.paper_pattern_count in (4_000, 12_000)
+            assert entry.paper_cpu_seconds is not None
+
+    def test_easy_circuits_have_table1_value(self):
+        for entry in paper_suite():
+            assert entry.paper_conventional_length is not None
+
+    def test_every_entry_instantiates_to_a_valid_circuit(self):
+        for entry in paper_suite():
+            circuit = entry.instantiate()
+            circuit.validate()
+            assert circuit.n_inputs > 0 and circuit.n_outputs > 0
+
+    def test_build_circuit_by_key_case_insensitive(self):
+        circuit = build_circuit("S1")
+        assert circuit.n_inputs == 48
+
+    def test_build_circuit_unknown_key(self):
+        with pytest.raises(KeyError, match="unknown benchmark circuit"):
+            build_circuit("c9999")
+
+    def test_circuit_keys_cover_suite(self):
+        keys = set(circuit_keys())
+        assert {entry.key for entry in paper_suite()} <= keys
+
+    def test_instantiate_returns_fresh_objects(self):
+        entry = paper_suite()[0]
+        assert entry.instantiate() is not entry.instantiate()
+
+    def test_entries_are_frozen(self):
+        entry = paper_suite()[0]
+        with pytest.raises(Exception):
+            entry.key = "other"  # type: ignore[misc]
+        assert isinstance(entry, BenchmarkCircuit)

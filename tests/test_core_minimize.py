@@ -1,0 +1,94 @@
+"""Tests for the per-coordinate Newton minimization (formula (15))."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import coordinate_objective, minimize_coordinate
+
+
+def brute_force_minimum(p0, p1, n, bounds, resolution=4001):
+    grid = np.linspace(bounds[0], bounds[1], resolution)
+    values = [coordinate_objective(np.asarray(p0), np.asarray(p1), n, y) for y in grid]
+    return float(grid[int(np.argmin(values))])
+
+
+class TestMinimizeCoordinate:
+    def test_single_fault_pushes_toward_better_cofactor(self):
+        # p(y) = 0.01 + y*(0.2-0.01): larger y -> larger detection probability
+        # -> smaller objective, so the minimum sits at the upper bound.
+        result = minimize_coordinate([0.01], [0.2], 1000, bounds=(0.05, 0.95))
+        assert result.y == pytest.approx(0.95, abs=1e-6)
+
+    def test_single_fault_other_direction(self):
+        result = minimize_coordinate([0.2], [0.01], 1000, bounds=(0.05, 0.95))
+        assert result.y == pytest.approx(0.05, abs=1e-6)
+
+    def test_balanced_pair_has_interior_minimum(self):
+        """Two symmetric faults pulling in opposite directions: the unique
+        minimum (strict convexity, Lemma 3) is the midpoint."""
+        result = minimize_coordinate([0.01, 0.05], [0.05, 0.01], 500, bounds=(0.0, 1.0))
+        assert result.y == pytest.approx(0.5, abs=1e-3)
+        assert result.converged
+
+    def test_insensitive_coordinate_keeps_initial_value(self):
+        result = minimize_coordinate([0.1, 0.2], [0.1, 0.2], 1000, initial=0.37)
+        assert result.y == pytest.approx(0.37)
+        assert result.iterations == 0
+
+    def test_empty_fault_set_returns_midpoint(self):
+        result = minimize_coordinate([], [], 1000, bounds=(0.1, 0.9))
+        assert result.y == pytest.approx(0.5)
+
+    def test_respects_bounds(self):
+        result = minimize_coordinate([0.001], [0.9], 10_000, bounds=(0.2, 0.8))
+        assert 0.2 <= result.y <= 0.8
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            minimize_coordinate([0.1], [0.1, 0.2], 100)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            minimize_coordinate([0.1], [0.2], 100, bounds=(0.9, 0.1))
+
+    def test_huge_n_does_not_break_numerics(self):
+        """With N ~ 1e9 all raw terms underflow; the scaled derivatives must
+        still drive the iteration to the right place."""
+        result = minimize_coordinate([1e-8, 2e-3], [2e-3, 1e-8], 10**9, bounds=(0.05, 0.95))
+        assert result.converged
+        assert 0.05 <= result.y <= 0.95
+        assert abs(result.y - 0.5) < 0.05
+
+    @given(
+        n_faults=st.integers(1, 8),
+        seed=st.integers(0, 2**16),
+        n_patterns=st.sampled_from([100, 1_000, 50_000]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute_force_grid_search(self, n_faults, seed, n_patterns):
+        rng = np.random.default_rng(seed)
+        p0 = rng.uniform(0.0, 0.05, n_faults)
+        p1 = rng.uniform(0.0, 0.05, n_faults)
+        bounds = (0.05, 0.95)
+        result = minimize_coordinate(p0, p1, n_patterns, bounds=bounds)
+        reference = brute_force_minimum(p0, p1, n_patterns, bounds)
+        value_newton = coordinate_objective(p0, p1, n_patterns, result.y)
+        value_grid = coordinate_objective(p0, p1, n_patterns, reference)
+        # The Newton result must be at least as good as a fine grid search
+        # (up to grid resolution).
+        assert value_newton <= value_grid * (1 + 1e-6) + 1e-12
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_objective_is_convex_along_coordinate(self, seed):
+        """Sampled second-difference check of Lemma 3 (strict convexity)."""
+        rng = np.random.default_rng(seed)
+        p0 = rng.uniform(0.0, 0.1, 5)
+        p1 = rng.uniform(0.0, 0.1, 5)
+        n = 200
+        ys = np.linspace(0.0, 1.0, 21)
+        values = np.array([coordinate_objective(p0, p1, n, y) for y in ys])
+        second_differences = values[:-2] - 2 * values[1:-1] + values[2:]
+        assert np.all(second_differences >= -1e-9)

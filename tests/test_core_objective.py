@@ -1,0 +1,91 @@
+"""Tests for the objective function and confidence/test-length relationships."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    confidence_from_objective,
+    log_test_confidence,
+    objective_from_confidence,
+    objective_terms,
+    objective_value,
+)
+from repro.core import test_confidence as compute_confidence
+
+
+class TestConfidence:
+    def test_single_certain_fault(self):
+        # A fault with detection probability 1 is always caught by one pattern.
+        assert compute_confidence([1.0], 1) == pytest.approx(1.0)
+
+    def test_formula_1_simple_case(self):
+        # One fault, p = 0.5, N = 2: confidence = 1 - (1-0.5)^2 = 0.75.
+        assert compute_confidence([0.5], 2) == pytest.approx(0.75)
+
+    def test_undetectable_fault_gives_zero_confidence(self):
+        assert compute_confidence([0.0, 0.9], 100) == 0.0
+        assert log_test_confidence([0.0], 10) == float("-inf")
+
+    def test_empty_fault_list_gives_certainty(self):
+        assert compute_confidence([], 5) == pytest.approx(1.0)
+
+    def test_confidence_increases_with_test_length(self):
+        probs = [0.01, 0.05, 0.2]
+        values = [compute_confidence(probs, n) for n in (10, 100, 1000, 10000)]
+        assert values == sorted(values)
+        assert values[-1] > 0.99
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            compute_confidence([1.5], 10)
+        with pytest.raises(ValueError):
+            objective_value([[0.1, 0.2]], 10)  # type: ignore[list-item]
+
+
+class TestObjective:
+    def test_objective_terms_shape_and_value(self):
+        terms = objective_terms([0.1, 0.2], 10)
+        assert terms.shape == (2,)
+        assert terms[0] == pytest.approx(np.exp(-1.0))
+        assert objective_value([0.1, 0.2], 10) == pytest.approx(terms.sum())
+
+    def test_objective_decreases_with_test_length(self):
+        probs = [0.01, 0.001]
+        assert objective_value(probs, 10_000) < objective_value(probs, 100)
+
+    @given(
+        probs=st.lists(st.floats(1e-4, 1.0), min_size=1, max_size=20),
+        n=st.integers(100, 100_000),
+    )
+    @settings(max_examples=100)
+    def test_objective_approximates_log_confidence(self, probs, n):
+        """Formula (9): -ln(confidence) ~= J_N, with J_N an upper bound
+        (since exp(-Np) >= (1-p)^N)."""
+        objective = objective_value(probs, n)
+        log_conf = log_test_confidence(probs, n)
+        # The exact miss terms are bounded by the objective terms:
+        # (1-p)^N <= exp(-Np), so 1 - confidence <= J_N always ...
+        assert -np.expm1(log_conf) <= objective + 1e-9
+        if objective < 0.01:
+            # ... and in the high-confidence regime the paper operates in,
+            # -ln(confidence) and J_N agree to within about one percent, which
+            # is what lets NORMALIZE use J_N as the confidence criterion.
+            assert -log_conf <= 1.02 * objective + 1e-9
+            assert confidence_from_objective(objective) <= np.exp(log_conf) * 1.001 + 1e-12
+
+    def test_conversion_roundtrip(self):
+        for confidence in (0.9, 0.99, 0.999):
+            q = objective_from_confidence(confidence)
+            assert confidence_from_objective(q) == pytest.approx(confidence)
+
+    def test_objective_from_confidence_validation(self):
+        with pytest.raises(ValueError):
+            objective_from_confidence(1.0)
+        with pytest.raises(ValueError):
+            objective_from_confidence(0.0)
+
+    def test_large_n_underflows_gracefully(self):
+        assert objective_value([0.5], 10**9) == 0.0
+        assert compute_confidence([0.5], 10**9) == pytest.approx(1.0)

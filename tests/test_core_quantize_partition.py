@@ -1,0 +1,112 @@
+"""Tests for weight quantization and the fault-partitioning extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import CircuitBuilder
+from repro.circuit.library import and_tree
+from repro.core import (
+    optimize_input_probabilities,
+    optimize_partitioned,
+    quantization_error,
+    quantize_to_lfsr_grid,
+    quantize_weights,
+)
+from repro.faults import collapsed_fault_list
+
+
+class TestQuantizeWeights:
+    def test_snaps_to_decimal_grid(self):
+        snapped = quantize_weights([0.512, 0.338, 0.07], step=0.05)
+        assert np.allclose(snapped, [0.5, 0.35, 0.05])
+
+    def test_clips_to_bounds(self):
+        snapped = quantize_weights([0.001, 0.999], step=0.05, bounds=(0.05, 0.95))
+        assert np.allclose(snapped, [0.05, 0.95])
+
+    @given(weights=st.lists(st.floats(0.0, 1.0), min_size=1, max_size=10))
+    @settings(max_examples=80)
+    def test_error_bounded_by_half_step_inside_bounds(self, weights):
+        snapped = quantize_weights(weights, step=0.05, bounds=(0.0, 1.0))
+        assert quantization_error(weights, snapped) <= 0.025 + 1e-12
+        assert np.all(np.isclose(np.round(snapped / 0.05) * 0.05, snapped))
+
+    def test_step_validation(self):
+        with pytest.raises(ValueError):
+            quantize_weights([0.5], step=0.0)
+        with pytest.raises(ValueError):
+            quantize_weights([0.5], step=0.05, bounds=(0.9, 0.1))
+
+
+class TestLfsrGrid:
+    def test_grid_resolution(self):
+        snapped = quantize_to_lfsr_grid([0.3, 0.62], resolution=3)
+        assert np.allclose(snapped * 8, np.round(snapped * 8))
+
+    def test_interior_is_preserved(self):
+        snapped = quantize_to_lfsr_grid([0.0, 1.0], resolution=4)
+        assert snapped[0] == pytest.approx(1.0 / 16)
+        assert snapped[1] == pytest.approx(15.0 / 16)
+
+    def test_resolution_validation(self):
+        with pytest.raises(ValueError):
+            quantize_to_lfsr_grid([0.5], resolution=0)
+
+    def test_quantization_error_length_check(self):
+        with pytest.raises(ValueError):
+            quantization_error([0.5], [0.5, 0.6])
+
+
+def conflicting_detectors_circuit(width=10):
+    """Two wide detectors demanding opposite values on the same bus — the
+    section 5.3 pathological case."""
+    builder = CircuitBuilder(f"conflict{width}")
+    bus = builder.input_bus("x", width)
+    builder.output(and_tree(builder, bus), "all_ones")
+    builder.output(and_tree(builder, [builder.not_(b) for b in bus]), "all_zeros")
+    return builder.build()
+
+
+class TestPartitioning:
+    def test_partitioned_beats_single_distribution_on_conflict(self):
+        circuit = conflicting_detectors_circuit(10)
+        faults = collapsed_fault_list(circuit)
+        single = optimize_input_probabilities(circuit, faults=faults, max_sweeps=5)
+        partitioned = optimize_partitioned(
+            circuit, faults=faults, max_sessions=2, max_sweeps=5
+        )
+        assert partitioned.n_sessions == 2
+        assert partitioned.total_test_length < single.test_length
+        assert partitioned.improvement_over_single > 1.0
+
+    def test_sessions_cover_all_faults(self):
+        circuit = conflicting_detectors_circuit(8)
+        faults = collapsed_fault_list(circuit)
+        partitioned = optimize_partitioned(
+            circuit, faults=faults, max_sessions=3, max_sweeps=3
+        )
+        covered = set()
+        for session in partitioned.sessions:
+            covered.update(session.target_faults)
+        assert covered == set(faults)
+
+    def test_single_session_when_one_distribution_suffices(self):
+        """A circuit without conflicting hard faults does not benefit from
+        partitioning; the harness may still split it, but the total length must
+        not explode relative to the single-distribution test."""
+        builder = CircuitBuilder("friendly")
+        bus = builder.input_bus("x", 6)
+        builder.output(and_tree(builder, bus), "y")
+        circuit = builder.build()
+        partitioned = optimize_partitioned(circuit, max_sessions=2, max_sweeps=3)
+        assert partitioned.n_sessions >= 1
+        assert partitioned.total_test_length <= 3 * partitioned.single_session_length
+
+    def test_session_lengths_positive(self):
+        circuit = conflicting_detectors_circuit(8)
+        partitioned = optimize_partitioned(circuit, max_sessions=2, max_sweeps=3)
+        for session in partitioned.sessions:
+            assert session.test_length >= 1
+            assert len(session.target_faults) > 0

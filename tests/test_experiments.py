@@ -1,0 +1,107 @@
+"""Tests for the experiment runners and table formatting (fast subsets only).
+
+The full table runners are exercised by the benchmark suite; here the
+formatting helpers and the shared suite plumbing are unit-tested, plus a
+scaled-down end-to-end run of the Table 1 style computation on one circuit.
+"""
+
+import pytest
+
+from repro.experiments import (
+    CONFIDENCE,
+    clear_caches,
+    format_count,
+    format_percent,
+    format_seconds,
+    format_table,
+    get_experiment_circuit,
+    load_hard_suite,
+    load_suite,
+    optimized_result,
+)
+from repro.experiments.appendix import AppendixListing
+from repro.experiments.figure2 import Figure2Data
+from repro.experiments.table1 import Table1Row, format_table1
+from repro.experiments.table3 import Table3Row, format_table3
+from repro.circuits import paper_suite
+
+
+class TestFormatting:
+    def test_format_count_styles(self):
+        assert format_count(None) == "-"
+        assert format_count(2500) == "2,500"
+        assert format_count(5.6e8) == "5.6e+08"
+        assert format_count(float("inf")) == "inf"
+
+    def test_format_percent_and_seconds(self):
+        assert format_percent(99.66) == "99.7 %"
+        assert format_percent(None) == "-"
+        assert format_seconds(12.34) == "12.3 s"
+        assert format_seconds(None) == "-"
+
+    def test_format_table_alignment_and_title(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 2 + 1 + 2  # title + header + rule + 2 rows
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_table1_formatter_includes_paper_column(self):
+        row = Table1Row("s1", "S1", True, 100, 200, 123456, 5.6e8)
+        text = format_table1([row])
+        assert "5.6e+08" in text and "S1" in text
+
+    def test_table3_formatter_shows_improvement(self):
+        row = Table3Row("s1", "S1", 1_000_000, 10_000, 100.0, 3, 3.5e4)
+        assert "x100" in format_table3([row])
+
+
+class TestSuitePlumbing:
+    def test_confidence_is_paper_grade(self):
+        assert 0.99 <= CONFIDENCE < 1.0
+
+    def test_load_suite_matches_registry(self):
+        suite = load_suite()
+        assert [e.key for e in suite] == [entry.key for entry in paper_suite()]
+        hard = load_hard_suite()
+        assert all(e.entry.hard for e in hard)
+
+    def test_experiment_circuit_caching(self):
+        clear_caches()
+        entry = paper_suite()[2]  # a small, easy circuit
+        first = get_experiment_circuit(entry)
+        second = get_experiment_circuit(entry)
+        assert first is second
+        assert first.circuit.n_gates > 0
+        assert len(first.faults) > 0
+
+    def test_pattern_budget_defaults(self):
+        entry = paper_suite()[2]
+        experiment = get_experiment_circuit(entry)
+        assert experiment.pattern_budget == 4_000
+
+    def test_optimized_result_is_cached(self):
+        clear_caches()
+        entry = next(e for e in paper_suite() if e.key == "c2670")
+        experiment = get_experiment_circuit(entry)
+        first = optimized_result(experiment, max_sweeps=2)
+        second = optimized_result(experiment)
+        assert first is second
+        forced = optimized_result(experiment, max_sweeps=2, force=True)
+        assert forced is not first
+        clear_caches()
+
+
+class TestResultContainers:
+    def test_figure2_crossover_gap(self):
+        data = Figure2Data("s1", [10, 100], [60.0, 70.0], [80.0, 99.0])
+        assert data.crossover_gap() == pytest.approx(20.0)
+
+    def test_appendix_grouping(self):
+        listing = AppendixListing("s1", "S1", ["a0", "a1", "a2", "a3"], [0.9, 0.9, 0.1, 0.9])
+        groups = listing.grouped()
+        assert groups == [("1-2", 0.9), ("3", 0.1), ("4", 0.9)]

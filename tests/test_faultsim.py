@@ -1,0 +1,209 @@
+"""Tests for fault simulation: parallel vs. serial reference, dropping, coverage."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import parse_bench
+from repro.circuits import comparator_circuit
+from repro.faults import Fault, collapsed_fault_list, full_fault_list
+from repro.faultsim import (
+    CoverageExperiment,
+    ParallelFaultSimulator,
+    coverage_curve,
+    detecting_pattern_count,
+    fault_detected_by,
+    random_pattern_coverage,
+    simulate_with_fault,
+)
+
+from .helpers import C17_BENCH, all_patterns, half_adder_circuit, random_circuit
+
+
+class TestSerialReference:
+    def test_stem_fault_changes_output(self):
+        circuit = half_adder_circuit()
+        carry = circuit.net_index("carry")
+        fault = Fault(carry, False)  # carry stuck-at-0
+        assert fault_detected_by(circuit, fault, [True, True])
+        assert not fault_detected_by(circuit, fault, [True, False])
+
+    def test_input_stuck_at(self):
+        circuit = half_adder_circuit()
+        a = circuit.inputs[0]
+        fault = Fault(a, True)  # a stuck-at-1
+        assert fault_detected_by(circuit, fault, [False, True])
+        assert not fault_detected_by(circuit, fault, [True, True])
+
+    def test_branch_fault_differs_from_stem(self):
+        circuit = half_adder_circuit()
+        a = circuit.inputs[0]
+        xor_gate = next(
+            gi for gi, g in enumerate(circuit.gates) if g.gate_type.name == "XOR"
+        )
+        branch = Fault(a, True, gate=xor_gate)
+        values = simulate_with_fault(circuit, branch, [False, False])
+        # Only the XOR sees a=1: sum flips, carry stays 0.
+        assert values[circuit.net_index("sum")] is True
+        assert values[circuit.net_index("carry")] is False
+
+    def test_detecting_pattern_count(self):
+        circuit = half_adder_circuit()
+        carry = circuit.net_index("carry")
+        count = detecting_pattern_count(circuit, Fault(carry, True), all_patterns(2))
+        assert count == 3  # carry s-a-1 detected by every pattern except (1,1)
+
+    def test_wrong_input_length(self):
+        circuit = half_adder_circuit()
+        with pytest.raises(ValueError):
+            simulate_with_fault(circuit, Fault(0, True), [True])
+
+
+class TestParallelSimulator:
+    def test_matches_serial_on_c17_exhaustively(self):
+        circuit = parse_bench(C17_BENCH, name="c17")
+        faults = full_fault_list(circuit)
+        patterns = all_patterns(circuit.n_inputs)
+        simulator = ParallelFaultSimulator(circuit, faults)
+        counts = simulator.detection_counts(patterns)
+        for fault, count in zip(faults, counts):
+            expected = detecting_pattern_count(circuit, fault, patterns)
+            assert count == expected, fault.describe(circuit)
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_matches_serial_on_random_circuits(self, seed):
+        rng = np.random.default_rng(seed)
+        circuit = random_circuit(rng, n_inputs=4, n_gates=10)
+        faults = collapsed_fault_list(circuit)[:20]
+        patterns = all_patterns(circuit.n_inputs)
+        counts = ParallelFaultSimulator(circuit, faults).detection_counts(patterns)
+        for fault, count in zip(faults, counts):
+            assert count == detecting_pattern_count(circuit, fault, patterns)
+
+    def test_first_detection_index_is_earliest(self):
+        circuit = half_adder_circuit()
+        carry = circuit.net_index("carry")
+        fault = Fault(carry, True)
+        # Patterns: (1,1) does not detect carry s-a-1; (0,1) does.
+        patterns = np.array([[True, True], [False, True], [False, False]])
+        result = ParallelFaultSimulator(circuit, [fault]).run(patterns)
+        assert result.first_detection[fault] == 1
+
+    def test_detection_independent_of_batch_size(self):
+        circuit = comparator_circuit(width=6)
+        faults = collapsed_fault_list(circuit)
+        rng = np.random.default_rng(5)
+        patterns = rng.random((300, circuit.n_inputs)) < 0.5
+        small = ParallelFaultSimulator(circuit, faults).run(patterns, batch_size=64)
+        large = ParallelFaultSimulator(circuit, faults).run(patterns, batch_size=4096)
+        assert small.first_detection == large.first_detection
+
+    def test_drop_detected_false_keeps_faults(self):
+        circuit = half_adder_circuit()
+        faults = collapsed_fault_list(circuit)
+        patterns = all_patterns(2)
+        with_drop = ParallelFaultSimulator(circuit, faults).run(patterns, drop_detected=True)
+        without_drop = ParallelFaultSimulator(circuit, faults).run(patterns, drop_detected=False)
+        assert with_drop.first_detection == without_drop.first_detection
+
+    def test_undetectable_fault_reported_undetected(self):
+        # y = a OR (a AND b): the AND output stuck-at-0 is redundant.
+        from .helpers import redundant_circuit
+
+        circuit = redundant_circuit()
+        inner = circuit.net_index("inner")
+        fault = Fault(inner, False)
+        result = ParallelFaultSimulator(circuit, [fault]).run(all_patterns(2))
+        assert result.undetected == [fault]
+        assert result.fault_coverage == 0.0
+
+    def test_output_stem_fault_detected(self):
+        circuit = half_adder_circuit()
+        out = circuit.outputs[0]
+        fault = Fault(out, True)
+        result = ParallelFaultSimulator(circuit, [fault]).run(all_patterns(2))
+        assert fault in result.first_detection
+
+    def test_detects_helper(self):
+        circuit = half_adder_circuit()
+        carry = circuit.net_index("carry")
+        simulator = ParallelFaultSimulator(circuit)
+        assert simulator.detects(Fault(carry, False), [True, True])
+        assert not simulator.detects(Fault(carry, False), [False, False])
+
+
+class TestFaultSimResult:
+    def _result(self):
+        circuit = comparator_circuit(width=4)
+        rng = np.random.default_rng(11)
+        patterns = rng.random((256, circuit.n_inputs)) < 0.5
+        return ParallelFaultSimulator(circuit).run(patterns)
+
+    def test_coverage_between_zero_and_one(self):
+        result = self._result()
+        assert 0.0 < result.fault_coverage <= 1.0
+        assert len(result.detected) + len(result.undetected) == len(result.faults)
+
+    def test_coverage_at_is_monotone(self):
+        result = self._result()
+        points = [1, 4, 16, 64, 256]
+        curve = result.coverage_curve(points)
+        values = [v for _, v in curve]
+        assert values == sorted(values)
+        assert curve[-1][1] == pytest.approx(result.fault_coverage)
+
+    def test_merged_with_shifts_indices(self):
+        circuit = half_adder_circuit()
+        faults = collapsed_fault_list(circuit)
+        sim = ParallelFaultSimulator(circuit, faults)
+        first = sim.run(np.array([[False, False]]))
+        second = ParallelFaultSimulator(circuit, faults).run(all_patterns(2))
+        merged = first.merged_with(second)
+        assert merged.n_patterns == 1 + 4
+        for fault, index in merged.first_detection.items():
+            if fault in first.first_detection:
+                assert index == first.first_detection[fault]
+            else:
+                assert index == second.first_detection[fault] + 1
+
+    def test_merged_with_rejects_different_fault_lists(self):
+        circuit = half_adder_circuit()
+        a = ParallelFaultSimulator(circuit, [Fault(0, False)]).run(all_patterns(2))
+        b = ParallelFaultSimulator(circuit, [Fault(0, True)]).run(all_patterns(2))
+        with pytest.raises(ValueError):
+            a.merged_with(b)
+
+
+class TestCoverageExperiment:
+    def test_random_pattern_coverage_defaults_to_equiprobable(self):
+        circuit = comparator_circuit(width=4)
+        experiment = random_pattern_coverage(circuit, 512, seed=3)
+        assert isinstance(experiment, CoverageExperiment)
+        assert experiment.weights == [0.5] * circuit.n_inputs
+        assert 0.5 < experiment.fault_coverage <= 1.0
+        assert experiment.fault_coverage_percent == pytest.approx(
+            100 * experiment.fault_coverage
+        )
+
+    def test_weighted_coverage_not_worse_on_comparator(self):
+        circuit = comparator_circuit(width=6)
+        base = random_pattern_coverage(circuit, 512, seed=3)
+        # Push operand bit pairs toward equality: helps the eq chain.
+        weights = [0.85] * circuit.n_inputs
+        weighted = random_pattern_coverage(circuit, 512, weights=weights, seed=3)
+        assert weighted.fault_coverage >= base.fault_coverage - 0.02
+
+    def test_coverage_curve_ends_at_final_coverage(self):
+        circuit = comparator_circuit(width=4)
+        experiment = random_pattern_coverage(circuit, 300, seed=9)
+        curve = coverage_curve(experiment, n_points=8)
+        assert curve[-1][0] == 300
+        assert curve[-1][1] == pytest.approx(experiment.fault_coverage)
+
+    def test_reproducible_with_same_seed(self):
+        circuit = comparator_circuit(width=4)
+        first = random_pattern_coverage(circuit, 256, seed=21)
+        second = random_pattern_coverage(circuit, 256, seed=21)
+        assert first.result.first_detection == second.result.first_detection

@@ -1,0 +1,135 @@
+"""Tests for true-value simulation: packing, bit-parallel vs. scalar reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import parse_bench
+from repro.simulation import (
+    LogicSimulator,
+    evaluate,
+    evaluate_named,
+    exhaustive_truth_table,
+    pack_patterns,
+    unpack_values,
+)
+
+from .helpers import C17_BENCH, all_patterns, half_adder_circuit, mux_circuit, random_circuit
+
+
+class TestPacking:
+    @given(
+        n_patterns=st.integers(1, 200),
+        n_signals=st.integers(1, 8),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=40)
+    def test_pack_unpack_roundtrip(self, n_patterns, n_signals, seed):
+        rng = np.random.default_rng(seed)
+        patterns = rng.random((n_patterns, n_signals)) < 0.5
+        words = pack_patterns(patterns)
+        assert words.shape == (n_signals, (n_patterns + 63) // 64)
+        recovered = unpack_values(words, n_patterns)
+        assert np.array_equal(recovered, patterns)
+
+    def test_pack_rejects_1d_input(self):
+        with pytest.raises(ValueError):
+            pack_patterns(np.zeros(8, dtype=bool))
+
+    def test_unpack_single_row(self):
+        patterns = np.array([[True], [False], [True]])
+        words = pack_patterns(patterns)
+        row = unpack_values(words[0], 3)
+        assert list(row) == [True, False, True]
+
+
+class TestLogicSimulator:
+    def test_half_adder_exhaustive(self):
+        circuit = half_adder_circuit()
+        simulator = LogicSimulator(circuit)
+        patterns = all_patterns(2)
+        outputs = simulator.simulate_patterns(patterns)
+        for pattern, (s, c) in zip(patterns, outputs):
+            a, b = pattern
+            assert s == (a ^ b)
+            assert c == (a and b)
+
+    def test_matches_scalar_reference_on_c17(self):
+        circuit = parse_bench(C17_BENCH, name="c17")
+        simulator = LogicSimulator(circuit)
+        patterns = all_patterns(circuit.n_inputs)
+        outputs = simulator.simulate_patterns(patterns)
+        reference = [out for _, out in exhaustive_truth_table(circuit)]
+        assert np.array_equal(outputs, np.asarray(reference))
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_scalar_reference_on_random_circuits(self, seed):
+        rng = np.random.default_rng(seed)
+        circuit = random_circuit(rng, n_inputs=5, n_gates=14)
+        simulator = LogicSimulator(circuit)
+        patterns = all_patterns(circuit.n_inputs)
+        outputs = simulator.simulate_patterns(patterns)
+        for pattern, row in zip(patterns, outputs):
+            values = evaluate(circuit, pattern)
+            expected = [values[out] for out in circuit.outputs]
+            assert list(row) == expected
+
+    def test_wrong_input_row_count_rejected(self):
+        circuit = half_adder_circuit()
+        simulator = LogicSimulator(circuit)
+        with pytest.raises(ValueError, match="expected 2 input rows"):
+            simulator.simulate_words(np.zeros((3, 1), dtype=np.uint64))
+
+    def test_single_pattern_helper(self):
+        circuit = half_adder_circuit()
+        out = LogicSimulator(circuit).simulate_pattern([True, True])
+        assert list(out) == [False, True]
+
+    def test_signal_ones_count(self):
+        circuit = half_adder_circuit()
+        simulator = LogicSimulator(circuit)
+        patterns = all_patterns(2)
+        values = simulator.simulate_words(pack_patterns(patterns))
+        ones = simulator.signal_ones_count(values, patterns.shape[0])
+        sum_net = circuit.net_index("sum")
+        carry_net = circuit.net_index("carry")
+        assert ones[sum_net] == 2
+        assert ones[carry_net] == 1
+
+
+class TestScalarReference:
+    def test_forced_nets_override_gate_value(self):
+        circuit = half_adder_circuit()
+        carry = circuit.net_index("carry")
+        values = evaluate(circuit, [True, True], forced_nets={carry: False})
+        assert values[carry] is False
+
+    def test_forced_primary_input(self):
+        circuit = half_adder_circuit()
+        a = circuit.inputs[0]
+        values = evaluate(circuit, [False, True], forced_nets={a: True})
+        assert values[circuit.net_index("sum")] is False
+
+    def test_wrong_input_length(self):
+        with pytest.raises(ValueError):
+            evaluate(half_adder_circuit(), [True])
+
+    def test_evaluate_named_missing_input(self):
+        with pytest.raises(KeyError):
+            evaluate_named(half_adder_circuit(), {"a": True})
+
+    def test_evaluate_named_output_names(self):
+        result = evaluate_named(half_adder_circuit(), {"a": True, "b": False})
+        assert result == {"sum": True, "carry": False}
+
+    def test_exhaustive_truth_table_size(self):
+        rows = list(exhaustive_truth_table(mux_circuit()))
+        assert len(rows) == 8
+
+    def test_exhaustive_refuses_large_circuits(self):
+        from repro.circuits import s1_comparator
+
+        with pytest.raises(ValueError):
+            list(exhaustive_truth_table(s1_comparator(width=24)))
