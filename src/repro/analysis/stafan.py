@@ -32,7 +32,12 @@ def measured_signal_probabilities(
     n_samples: int = 2048,
     seed: int = 7,
 ) -> np.ndarray:
-    """Signal probabilities measured by simulating ``n_samples`` random patterns."""
+    """Signal probabilities measured by simulating ``n_samples`` random patterns.
+
+    The fault-free simulation runs on the compiled per-level kernels (see
+    :mod:`repro.simulation.compiled`), so large sample counts stay cheap even
+    on the bigger registry circuits.
+    """
     generator = WeightedPatternGenerator(input_probs, seed=seed)
     patterns = generator.generate(n_samples)
     simulator = LogicSimulator(circuit)

@@ -12,7 +12,7 @@ overall :class:`CircuitStats` summary.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Set
 
 from .netlist import Circuit
 

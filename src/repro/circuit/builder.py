@@ -16,7 +16,7 @@ Example::
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from .gates import GateType, validate_arity
 from .netlist import Circuit, CircuitError, Gate

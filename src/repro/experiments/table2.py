@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..faultsim.coverage import random_pattern_coverage
-from .suite import ExperimentCircuit, load_hard_suite
+from .suite import load_hard_suite
 from .tables import format_percent, format_table
 
 __all__ = ["Table2Row", "run_table2", "format_table2"]

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from .suite import ExperimentCircuit, load_hard_suite, optimized_result
+from .suite import load_hard_suite, optimized_result
 from .tables import format_count, format_table
 
 __all__ = ["Table3Row", "run_table3", "format_table3"]

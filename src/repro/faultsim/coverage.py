@@ -55,6 +55,7 @@ def random_pattern_coverage(
     faults: Optional[Sequence[Fault]] = None,
     seed: int = 1987,
     batch_size: int = 2048,
+    fault_group: Optional[int] = None,
 ) -> CoverageExperiment:
     """Fault-simulate ``n_patterns`` weighted random patterns.
 
@@ -66,12 +67,14 @@ def random_pattern_coverage(
         faults: fault list; defaults to the collapsed stuck-at list.
         seed: RNG seed (kept fixed so tables are reproducible).
         batch_size: bit-parallel batch size.
+        fault_group: faults simulated simultaneously per group (``None`` =
+            adaptive, see :class:`ParallelFaultSimulator`).
     """
     if weights is None:
         weights = [0.5] * circuit.n_inputs
     generator = WeightedPatternGenerator(weights, seed=seed)
     patterns = generator.generate(n_patterns)
-    simulator = ParallelFaultSimulator(circuit, faults)
+    simulator = ParallelFaultSimulator(circuit, faults, fault_group=fault_group)
     result = simulator.run(patterns, batch_size=batch_size)
     return CoverageExperiment(circuit.name, n_patterns, result, list(weights))
 

@@ -1,0 +1,159 @@
+"""Per-fault interpreted fault simulator (pre-compiled-engine baseline).
+
+This is the original parallel-pattern *single*-fault-propagation
+implementation: for every live fault the transitive fan-out cone is
+re-simulated with a Python loop over the cone gates and a dict of diverged
+nets.  It computes exactly the same detections as the compiled fault-parallel
+engine in :class:`repro.faultsim.parallel.ParallelFaultSimulator` and is kept
+for two purposes:
+
+* the throughput benchmark (``benchmarks/bench_substrate_throughput.py``)
+  measures the compiled engine's speedup against it, and
+* the equivalence tests use it as an independent implementation to
+  differential-test the compiled engine beyond the scalar reference.
+
+It should not be used on hot paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit.gates import eval_words
+from ..circuit.netlist import Circuit
+from ..faults.collapse import collapsed_fault_list
+from ..faults.model import Fault
+from ..simulation.logicsim import WORD_BITS, LogicSimulator, pack_patterns
+from .parallel import FaultSimResult, _first_set_bit, _valid_mask
+
+__all__ = ["LegacyParallelFaultSimulator"]
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+class LegacyParallelFaultSimulator:
+    """Parallel-pattern single-fault-propagation fault simulator (baseline)."""
+
+    def __init__(self, circuit: Circuit, faults: Optional[Sequence[Fault]] = None):
+        self.circuit = circuit
+        self.faults: List[Fault] = (
+            list(faults) if faults is not None else collapsed_fault_list(circuit)
+        )
+        self._logic = LogicSimulator(circuit)
+        self._cone_cache: Dict[Tuple[int, Optional[int]], List[int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Cone handling
+    # ------------------------------------------------------------------ #
+    def _cone(self, fault: Fault) -> List[int]:
+        """Gate indices to resimulate for a fault, in topological order."""
+        key = (fault.net, fault.gate)
+        cone = self._cone_cache.get(key)
+        if cone is None:
+            if fault.is_stem:
+                cone = self.circuit.transitive_fanout_gates(fault.net)
+            else:
+                gate = self.circuit.gates[fault.gate]
+                downstream = self.circuit.transitive_fanout_gates(gate.output)
+                cone = sorted(set([fault.gate] + downstream))
+            self._cone_cache[key] = cone
+        return cone
+
+    # ------------------------------------------------------------------ #
+    # Detection of one fault against one batch
+    # ------------------------------------------------------------------ #
+    def _detection_words(
+        self, fault: Fault, good: np.ndarray, n_words: int
+    ) -> np.ndarray:
+        """Bit mask of patterns (within the batch) detecting ``fault``."""
+        circuit = self.circuit
+        stuck = (
+            np.full(n_words, _ALL_ONES, dtype=np.uint64)
+            if fault.stuck_value
+            else np.zeros(n_words, dtype=np.uint64)
+        )
+        faulty: Dict[int, np.ndarray] = {}
+        if fault.is_stem:
+            if np.array_equal(good[fault.net], stuck):
+                return np.zeros(n_words, dtype=np.uint64)
+            faulty[fault.net] = stuck
+
+        for gi in self._cone(fault):
+            gate = circuit.gates[gi]
+            operands = []
+            for src in gate.inputs:
+                if fault.is_branch and gi == fault.gate and src == fault.net:
+                    operands.append(stuck)
+                else:
+                    operands.append(faulty.get(src, good[src]))
+            value = eval_words(gate.gate_type, operands, n_words)
+            if np.array_equal(value, good[gate.output]):
+                # No divergence on this net; keep reading the good value so the
+                # faulty dictionary stays small.
+                faulty.pop(gate.output, None)
+            else:
+                faulty[gate.output] = value
+
+        detection = np.zeros(n_words, dtype=np.uint64)
+        for out in circuit.outputs:
+            if out in faulty:
+                detection |= faulty[out] ^ good[out]
+            elif fault.is_stem and out == fault.net:
+                detection |= stuck ^ good[out]
+        return detection
+
+    # ------------------------------------------------------------------ #
+    # Public entry points
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        patterns: np.ndarray,
+        drop_detected: bool = True,
+        batch_size: int = 2048,
+    ) -> FaultSimResult:
+        """Fault-simulate a pattern matrix (same contract as the compiled engine)."""
+        patterns = np.asarray(patterns, dtype=bool)
+        n_patterns = patterns.shape[0]
+        live: List[Fault] = list(self.faults)
+        first_detection: Dict[Fault, int] = {}
+
+        for start in range(0, n_patterns, batch_size):
+            if not live:
+                break
+            batch = patterns[start : start + batch_size]
+            batch_len = batch.shape[0]
+            n_words = (batch_len + WORD_BITS - 1) // WORD_BITS
+            good = self._logic.simulate_words(pack_patterns(batch))
+            mask = _valid_mask(batch_len, n_words)
+            still_live: List[Fault] = []
+            for fault in live:
+                detection = self._detection_words(fault, good, n_words) & mask
+                if detection.any():
+                    if fault not in first_detection:
+                        first_detection[fault] = start + _first_set_bit(detection)
+                    if not drop_detected:
+                        still_live.append(fault)
+                else:
+                    still_live.append(fault)
+            live = still_live
+        return FaultSimResult(list(self.faults), first_detection, n_patterns)
+
+    def detection_counts(
+        self, patterns: np.ndarray, batch_size: int = 2048
+    ) -> np.ndarray:
+        """Number of patterns detecting each fault (no fault dropping)."""
+        patterns = np.asarray(patterns, dtype=bool)
+        n_patterns = patterns.shape[0]
+        counts = np.zeros(len(self.faults), dtype=np.int64)
+        for start in range(0, n_patterns, batch_size):
+            batch = patterns[start : start + batch_size]
+            batch_len = batch.shape[0]
+            n_words = (batch_len + WORD_BITS - 1) // WORD_BITS
+            good = self._logic.simulate_words(pack_patterns(batch))
+            mask = _valid_mask(batch_len, n_words)
+            for fi, fault in enumerate(self.faults):
+                detection = self._detection_words(fault, good, n_words) & mask
+                counts[fi] += int(np.unpackbits(detection.view(np.uint8)).sum())
+        return counts

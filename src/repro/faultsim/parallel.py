@@ -1,34 +1,50 @@
-"""Bit-parallel fault simulation with fault dropping.
+"""Fault-parallel x pattern-parallel fault simulation with fault dropping.
 
 This is the workhorse behind Tables 2 and 4 and Figure 2 of the paper: given a
 stream of (weighted) random patterns, determine which stuck-at faults are
-detected and after how many patterns.  The implementation follows the standard
-parallel-pattern single-fault propagation scheme:
+detected and after how many patterns.  The simulator runs on the compiled
+structure-of-arrays engine (:mod:`repro.simulation.compiled`):
 
-* the fault-free circuit is simulated bit-parallel (64 patterns per word),
-* for every still-undetected fault only the transitive fan-out cone of the
-  fault site is re-simulated with the fault injected,
+* the fault-free circuit is simulated bit-parallel (64 patterns per word)
+  through vectorized per-level kernels,
+* still-undetected faults are simulated in *groups*: every fault of a group
+  owns a block of pattern words in one wide value matrix, and only the union
+  of the group's precomputed fan-out cones is re-evaluated with the fault
+  effects injected,
 * a fault is detected by every pattern for which some primary output differs
   from the fault-free value, and detected faults are dropped from subsequent
   batches.
+
+The per-fault interpreted baseline this replaced is preserved as
+:class:`repro.faultsim.legacy.LegacyParallelFaultSimulator` and is
+differential-tested against this implementation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..circuit.gates import eval_words
 from ..circuit.netlist import Circuit
 from ..faults.collapse import collapsed_fault_list
 from ..faults.model import Fault
-from ..simulation.logicsim import WORD_BITS, LogicSimulator, pack_patterns
+from ..simulation.compiled import compile_circuit, first_detection_indices, popcount_words
+from ..simulation.logicsim import WORD_BITS, pack_patterns
 
 __all__ = ["ParallelFaultSimulator", "FaultSimResult"]
 
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: Target width (in 64-pattern words) of one fault-parallel value matrix;
+#: the adaptive group size packs this many columns regardless of batch size.
+_TARGET_COLUMNS = 4096
+
+#: Upper bound on the adaptive group size.  Larger groups mean fewer kernel
+#: passes but a larger union fan-out cone per group (more gather traffic);
+#: around this size the product is minimal on the registry circuits.
+_MAX_ADAPTIVE_GROUP = 64
 
 
 @dataclass
@@ -88,75 +104,44 @@ class FaultSimResult:
 
 
 class ParallelFaultSimulator:
-    """Parallel-pattern single-fault-propagation fault simulator."""
+    """Fault-parallel x pattern-parallel fault simulator (compiled engine).
 
-    def __init__(self, circuit: Circuit, faults: Optional[Sequence[Fault]] = None):
+    Args:
+        circuit: circuit under test.
+        faults: fault list; defaults to the collapsed stuck-at list.
+        fault_group: number of faults simulated simultaneously per group;
+            ``None`` picks a size that fills :data:`_TARGET_COLUMNS` pattern
+            words per value matrix.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        faults: Optional[Sequence[Fault]] = None,
+        fault_group: Optional[int] = None,
+    ):
         self.circuit = circuit
         self.faults: List[Fault] = (
             list(faults) if faults is not None else collapsed_fault_list(circuit)
         )
-        self._logic = LogicSimulator(circuit)
-        self._cone_cache: Dict[Tuple[int, Optional[int]], List[int]] = {}
+        self.fault_group = fault_group
+        self._engine = compile_circuit(circuit)
 
-    # ------------------------------------------------------------------ #
-    # Cone handling
-    # ------------------------------------------------------------------ #
-    def _cone(self, fault: Fault) -> List[int]:
-        """Gate indices to resimulate for a fault, in topological order."""
-        key = (fault.net, fault.gate)
-        cone = self._cone_cache.get(key)
-        if cone is None:
-            if fault.is_stem:
-                cone = self.circuit.transitive_fanout_gates(fault.net)
-            else:
-                gate = self.circuit.gates[fault.gate]
-                downstream = self.circuit.transitive_fanout_gates(gate.output)
-                cone = sorted(set([fault.gate] + downstream))
-            self._cone_cache[key] = cone
-        return cone
+    def _group_size(self, n_words: int) -> int:
+        if self.fault_group is not None:
+            return max(1, int(self.fault_group))
+        return max(1, min(_MAX_ADAPTIVE_GROUP, _TARGET_COLUMNS // max(1, n_words)))
 
-    # ------------------------------------------------------------------ #
-    # Detection of one fault against one batch
-    # ------------------------------------------------------------------ #
-    def _detection_words(
-        self, fault: Fault, good: np.ndarray, n_words: int
-    ) -> np.ndarray:
-        """Bit mask of patterns (within the batch) detecting ``fault``."""
-        circuit = self.circuit
-        stuck = (
-            np.full(n_words, _ALL_ONES, dtype=np.uint64)
-            if fault.stuck_value
-            else np.zeros(n_words, dtype=np.uint64)
-        )
-        faulty: Dict[int, np.ndarray] = {}
-        if fault.is_stem:
-            if np.array_equal(good[fault.net], stuck):
-                return np.zeros(n_words, dtype=np.uint64)
-            faulty[fault.net] = stuck
+    def _site_level_order(self, faults: Sequence[Fault]) -> List[int]:
+        """Indices of ``faults`` stably sorted by fault-site logic level.
 
-        for gi in self._cone(fault):
-            gate = circuit.gates[gi]
-            operands = []
-            for src in gate.inputs:
-                if fault.is_branch and gi == fault.gate and src == fault.net:
-                    operands.append(stuck)
-                else:
-                    operands.append(faulty.get(src, good[src]))
-            value = eval_words(gate.gate_type, operands, n_words)
-            if np.array_equal(value, good[gate.output]):
-                # No divergence on this net; keep reading the good value so the
-                # faulty dictionary stays small.
-                faulty.pop(gate.output, None)
-            else:
-                faulty[gate.output] = value
-
-        detection = np.zeros(n_words, dtype=np.uint64)
-        for out in circuit.outputs:
-            if out in faulty:
-                detection |= faulty[out] ^ good[out]
-            elif fault.is_stem and out == fault.net:
-                detection |= stuck ^ good[out]
-        return detection
+        Faults with nearby sites have heavily overlapping fan-out cones, so
+        grouping them minimizes the union cone each group re-evaluates.  The
+        processing order does not affect results (detections are per fault and
+        per pattern), only locality.
+        """
+        levels = self._engine.net_level
+        return sorted(range(len(faults)), key=lambda fi: int(levels[faults[fi].net]))
 
     # ------------------------------------------------------------------ #
     # Public entry points
@@ -181,7 +166,10 @@ class ParallelFaultSimulator:
         """
         patterns = np.asarray(patterns, dtype=bool)
         n_patterns = patterns.shape[0]
-        live: List[Fault] = list(self.faults)
+        engine = self._engine
+        live: List[Fault] = [
+            self.faults[fi] for fi in self._site_level_order(self.faults)
+        ]
         first_detection: Dict[Fault, int] = {}
 
         for start in range(0, n_patterns, batch_size):
@@ -190,17 +178,26 @@ class ParallelFaultSimulator:
             batch = patterns[start : start + batch_size]
             batch_len = batch.shape[0]
             n_words = (batch_len + WORD_BITS - 1) // WORD_BITS
-            good = self._logic.simulate_words(pack_patterns(batch))
+            good = engine.simulate_words(pack_patterns(batch))
             mask = _valid_mask(batch_len, n_words)
+            group_size = self._group_size(n_words)
             still_live: List[Fault] = []
-            for fault in live:
-                detection = self._detection_words(fault, good, n_words) & mask
-                if detection.any():
-                    first_detection[fault] = start + _first_set_bit(detection)
-                    if not drop_detected:
+            for g_start in range(0, len(live), group_size):
+                group = live[g_start : g_start + group_size]
+                detection = engine.fault_batch_detection(
+                    group, good, n_words, valid_mask=mask
+                )
+                firsts = first_detection_indices(detection)
+                for fault, first in zip(group, firsts):
+                    if first >= 0:
+                        # Without dropping a fault stays live after detection;
+                        # never let a later batch overwrite the first index.
+                        if fault not in first_detection:
+                            first_detection[fault] = start + int(first)
+                        if not drop_detected:
+                            still_live.append(fault)
+                    else:
                         still_live.append(fault)
-                else:
-                    still_live.append(fault)
             live = still_live
         return FaultSimResult(list(self.faults), first_detection, n_patterns)
 
@@ -215,18 +212,23 @@ class ParallelFaultSimulator:
         """
         patterns = np.asarray(patterns, dtype=bool)
         n_patterns = patterns.shape[0]
+        engine = self._engine
         counts = np.zeros(len(self.faults), dtype=np.int64)
+        order = self._site_level_order(self.faults)
         for start in range(0, n_patterns, batch_size):
             batch = patterns[start : start + batch_size]
             batch_len = batch.shape[0]
             n_words = (batch_len + WORD_BITS - 1) // WORD_BITS
-            good = self._logic.simulate_words(pack_patterns(batch))
+            good = engine.simulate_words(pack_patterns(batch))
             mask = _valid_mask(batch_len, n_words)
-            for fi, fault in enumerate(self.faults):
-                detection = self._detection_words(fault, good, n_words) & mask
-                counts[fi] += int(
-                    np.unpackbits(detection.view(np.uint8)).sum()
+            group_size = self._group_size(n_words)
+            for g_start in range(0, len(order), group_size):
+                group_idx = order[g_start : g_start + group_size]
+                group = [self.faults[fi] for fi in group_idx]
+                detection = engine.fault_batch_detection(
+                    group, good, n_words, valid_mask=mask
                 )
+                counts[group_idx] += popcount_words(detection)
         return counts
 
     def detects(self, fault: Fault, pattern: Sequence[bool]) -> bool:

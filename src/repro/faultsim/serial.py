@@ -55,7 +55,26 @@ def fault_detected_by(
 
 
 def detecting_pattern_count(
-    circuit: Circuit, fault: Fault, patterns: Sequence[Sequence[bool]]
+    circuit: Circuit,
+    fault: Fault,
+    patterns: Sequence[Sequence[bool]],
+    use_compiled: bool = True,
 ) -> int:
-    """Number of patterns in ``patterns`` that detect ``fault``."""
+    """Number of patterns in ``patterns`` that detect ``fault``.
+
+    By default the count is computed on the compiled bit-parallel engine
+    (identical result, orders of magnitude faster).  Pass
+    ``use_compiled=False`` to force the scalar reference path, e.g. when
+    differential-testing the compiled engine itself.
+    """
+    if use_compiled:
+        import numpy as np
+
+        from .parallel import ParallelFaultSimulator
+
+        matrix = np.asarray(patterns, dtype=bool)
+        if matrix.ndim != 2 or matrix.shape[0] == 0:
+            return 0
+        counts = ParallelFaultSimulator(circuit, [fault]).detection_counts(matrix)
+        return int(counts[0])
     return sum(1 for pattern in patterns if fault_detected_by(circuit, fault, pattern))

@@ -9,7 +9,7 @@ and benches, plus helpers to stream bits and whole test patterns.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 

@@ -1,10 +1,13 @@
-"""True-value simulation: bit-parallel (production) and scalar (reference)."""
+"""True-value simulation: compiled bit-parallel engine and scalar reference."""
 
+from .compiled import CompiledCircuit, compile_circuit
 from .logicsim import WORD_BITS, LogicSimulator, pack_patterns, unpack_values
 from .eventsim import evaluate, evaluate_named, exhaustive_truth_table
 
 __all__ = [
     "WORD_BITS",
+    "CompiledCircuit",
+    "compile_circuit",
     "LogicSimulator",
     "pack_patterns",
     "unpack_values",

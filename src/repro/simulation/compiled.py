@@ -1,0 +1,478 @@
+"""Compiled structure-of-arrays (SoA) simulation engine.
+
+:class:`CompiledCircuit` lowers a :class:`~repro.circuit.netlist.Circuit` into
+flat numpy arrays once so the hot loops of true-value simulation and fault
+simulation run as a handful of vectorized kernels per logic level instead of a
+Python loop (with dict lookups) per gate:
+
+* gates are grouped into *level kernels* keyed by ``(level, base op)`` where
+  the base ops are AND, OR and XOR -- NAND/NOR/XNOR/NOT fold into a per-gate
+  inversion mask and BUF is a 1-input AND.  Each kernel evaluates all of its
+  gates with one ``gather -> ufunc.reduceat -> scatter`` sequence over
+  64-pattern ``uint64`` words,
+* transitive fan-out cone arrays are precomputed (and cached) per fault site,
+  so fault simulation only re-evaluates the gates a fault can influence,
+* faults are simulated **fault-parallel x pattern-parallel**: a group of
+  faults shares one wide value matrix in which every fault owns a contiguous
+  block of pattern words.  Fault effects are injected by forcing rows (stem
+  faults) or gathered operand slots (gate-input branch faults), and the union
+  of the group's fan-out cones selects the sub-kernels that are re-evaluated.
+
+The engine is exact: for every net and pattern it computes precisely the same
+values as the scalar reference simulator (:mod:`repro.simulation.eventsim`),
+which the test suite asserts on reference circuits and randomized netlists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit.gates import INVERTING_GATES, GateType
+from ..circuit.netlist import Circuit
+from ..faults.model import Fault
+
+__all__ = [
+    "CompiledCircuit",
+    "LevelKernel",
+    "compile_circuit",
+    "first_detection_indices",
+    "popcount_words",
+]
+
+WORD_BITS = 64
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+_ZERO = np.uint64(0)
+
+#: Base boolean operations the kernels are built from.  Every supported gate
+#: type maps to one of these plus an optional output inversion.
+_OP_AND = 0
+_OP_OR = 1
+_OP_XOR = 2
+
+_GATE_OP = {
+    GateType.AND: _OP_AND,
+    GateType.NAND: _OP_AND,
+    GateType.BUF: _OP_AND,  # 1-input AND
+    GateType.NOT: _OP_AND,  # 1-input AND + inversion
+    GateType.OR: _OP_OR,
+    GateType.NOR: _OP_OR,
+    GateType.XOR: _OP_XOR,
+    GateType.XNOR: _OP_XOR,
+}
+
+_OP_UFUNC = {
+    _OP_AND: np.bitwise_and,
+    _OP_OR: np.bitwise_or,
+    _OP_XOR: np.bitwise_xor,
+}
+
+
+@dataclass
+class LevelKernel:
+    """All gates of one logic level sharing one base boolean operation.
+
+    The fan-in net ids of the kernel's gates are concatenated into
+    :attr:`fanin_flat`; gate ``i`` owns the slice
+    ``fanin_flat[seg_starts[i] : seg_starts[i] + seg_lengths[i]]``.
+    Evaluation gathers the operand rows, reduces each segment with the base
+    ufunc and xors the inversion mask.
+    """
+
+    level: int
+    op: int
+    gate_ids: np.ndarray  # int32, ascending (original gate indices)
+    outputs: np.ndarray  # int32 net ids driven by the gates
+    fanin_flat: np.ndarray  # int32 net ids, concatenated fan-in segments
+    seg_starts: np.ndarray  # int64 segment starts into fanin_flat
+    seg_lengths: np.ndarray  # int64 segment lengths (all >= 1)
+    invert: np.ndarray  # uint64 per gate: all-ones if inverting else 0
+    has_invert: bool = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.has_invert = bool(self.invert.any())
+
+    @property
+    def ufunc(self) -> np.ufunc:
+        return _OP_UFUNC[self.op]
+
+    @property
+    def n_gates(self) -> int:
+        return int(self.gate_ids.size)
+
+
+def _ragged_positions(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenated index ranges ``[starts[i], starts[i]+lengths[i])``.
+
+    Vectorized replacement for ``np.concatenate([np.arange(s, s+l) ...])``.
+    All segments must be non-empty.
+    """
+    total = int(lengths.sum())
+    idx = np.ones(total, dtype=np.int64)
+    ends = np.cumsum(lengths)
+    idx[0] = starts[0]
+    if starts.size > 1:
+        idx[ends[:-1]] = starts[1:] - starts[:-1] - lengths[:-1] + 1
+    return np.cumsum(idx)
+
+
+def popcount_words(words: np.ndarray) -> np.ndarray:
+    """Number of set bits per row of a 2-D ``uint64`` word matrix."""
+    if words.size == 0:
+        return np.zeros(words.shape[0], dtype=np.int64)
+    as_bytes = np.ascontiguousarray(words).view(np.uint8)
+    return np.unpackbits(as_bytes, axis=1).sum(axis=1).astype(np.int64)
+
+
+def first_detection_indices(detection: np.ndarray) -> np.ndarray:
+    """Per row of a detection-word matrix, the index of the first set bit.
+
+    Returns ``-1`` for rows with no bit set.  Bit ``p % 64`` of word
+    ``p // 64`` corresponds to pattern ``p`` (little-endian, matching
+    :func:`repro.simulation.logicsim.pack_patterns`).
+    """
+    n_rows = detection.shape[0]
+    if n_rows == 0:
+        return np.zeros(0, dtype=np.int64)
+    nonzero = detection != 0
+    has = nonzero.any(axis=1)
+    word_idx = np.argmax(nonzero, axis=1)
+    words = detection[np.arange(n_rows), word_idx]
+    lsb = words & (~words + np.uint64(1))
+    bits = np.zeros(n_rows, dtype=np.int64)
+    mask = words != 0
+    # lsb is a power of two <= 2**63, exactly representable in float64.
+    bits[mask] = np.log2(lsb[mask].astype(np.float64)).astype(np.int64)
+    return np.where(has, word_idx * WORD_BITS + bits, -1)
+
+
+class CompiledCircuit:
+    """Array-compiled form of a :class:`~repro.circuit.netlist.Circuit`.
+
+    Build via :func:`compile_circuit` (cached per circuit instance) or
+    :meth:`from_circuit`.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        kernels: List[LevelKernel],
+        inputs: np.ndarray,
+        outputs: np.ndarray,
+        const0_nets: np.ndarray,
+        const1_nets: np.ndarray,
+        gate_output: np.ndarray,
+        gate_kernel: np.ndarray,
+        net_writer_gate: np.ndarray,
+        net_level: np.ndarray,
+    ):
+        self.circuit = circuit
+        self.kernels = kernels
+        self.inputs = inputs
+        self.outputs = outputs
+        self.const0_nets = const0_nets
+        self.const1_nets = const1_nets
+        self.gate_output = gate_output
+        self.gate_kernel = gate_kernel
+        self.net_writer_gate = net_writer_gate
+        self.net_level = net_level
+        self.n_nets = circuit.n_nets
+        self.n_gates = circuit.n_gates
+        self._stem_cones: Dict[int, np.ndarray] = {}
+        self._gate_cones: Dict[int, np.ndarray] = {}
+        self._pin_offsets_cache: Dict[Tuple[int, int], np.ndarray] = {}
+        self._reach: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # Compilation
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_circuit(cls, circuit: Circuit) -> "CompiledCircuit":
+        n_nets = circuit.n_nets
+        n_gates = circuit.n_gates
+        levels = circuit.levels()
+        gate_output = np.full(n_gates, -1, dtype=np.int32)
+        net_writer_gate = np.full(n_nets, -1, dtype=np.int32)
+        const0: List[int] = []
+        const1: List[int] = []
+        groups: Dict[Tuple[int, int], List[int]] = {}
+        for gi, gate in enumerate(circuit.gates):
+            gate_output[gi] = gate.output
+            net_writer_gate[gate.output] = gi
+            if gate.gate_type is GateType.CONST0:
+                const0.append(gate.output)
+                continue
+            if gate.gate_type is GateType.CONST1:
+                const1.append(gate.output)
+                continue
+            key = (levels[gate.output], _GATE_OP[gate.gate_type])
+            groups.setdefault(key, []).append(gi)
+
+        kernels: List[LevelKernel] = []
+        gate_kernel = np.full(n_gates, -1, dtype=np.int32)
+        for level, op in sorted(groups):
+            gids = sorted(groups[(level, op)])
+            outputs = np.empty(len(gids), dtype=np.int32)
+            seg_lengths = np.empty(len(gids), dtype=np.int64)
+            fanin_parts: List[Tuple[int, ...]] = []
+            invert = np.empty(len(gids), dtype=np.uint64)
+            for i, gi in enumerate(gids):
+                gate = circuit.gates[gi]
+                outputs[i] = gate.output
+                seg_lengths[i] = len(gate.inputs)
+                fanin_parts.append(gate.inputs)
+                invert[i] = _ALL_ONES if gate.gate_type in INVERTING_GATES else _ZERO
+            seg_starts = np.zeros(len(gids), dtype=np.int64)
+            np.cumsum(seg_lengths[:-1], out=seg_starts[1:])
+            fanin_flat = np.asarray(
+                [net for part in fanin_parts for net in part], dtype=np.int32
+            )
+            gate_kernel[gids] = len(kernels)
+            kernels.append(
+                LevelKernel(
+                    level=level,
+                    op=op,
+                    gate_ids=np.asarray(gids, dtype=np.int32),
+                    outputs=outputs,
+                    fanin_flat=fanin_flat,
+                    seg_starts=seg_starts,
+                    seg_lengths=seg_lengths,
+                    invert=invert,
+                )
+            )
+
+        return cls(
+            circuit=circuit,
+            kernels=kernels,
+            inputs=np.asarray(circuit.inputs, dtype=np.int64),
+            outputs=np.asarray(circuit.outputs, dtype=np.int64),
+            const0_nets=np.asarray(const0, dtype=np.int64),
+            const1_nets=np.asarray(const1, dtype=np.int64),
+            gate_output=gate_output,
+            gate_kernel=gate_kernel,
+            net_writer_gate=net_writer_gate,
+            net_level=np.asarray(levels, dtype=np.int32),
+        )
+
+    # ------------------------------------------------------------------ #
+    # True-value simulation
+    # ------------------------------------------------------------------ #
+    def simulate_words(self, input_words: np.ndarray) -> np.ndarray:
+        """Evaluate the whole circuit on pre-packed 64-pattern words.
+
+        Args:
+            input_words: ``uint64`` array of shape ``(n_inputs, n_words)``,
+                one row per primary input in :attr:`Circuit.inputs` order.
+
+        Returns:
+            ``uint64`` array of shape ``(n_nets, n_words)``.
+        """
+        input_words = np.asarray(input_words, dtype=np.uint64)
+        if input_words.ndim != 2 or input_words.shape[0] != self.inputs.size:
+            raise ValueError(
+                f"expected {self.inputs.size} input rows, got "
+                f"{input_words.shape[0] if input_words.ndim == 2 else input_words.shape}"
+            )
+        n_words = input_words.shape[1]
+        values = np.zeros((self.n_nets, n_words), dtype=np.uint64)
+        if self.inputs.size:
+            values[self.inputs] = input_words
+        if self.const1_nets.size:
+            values[self.const1_nets] = _ALL_ONES
+        for kern in self.kernels:
+            ops = values[kern.fanin_flat]
+            acc = kern.ufunc.reduceat(ops, kern.seg_starts, axis=0)
+            if kern.has_invert:
+                acc ^= kern.invert[:, None]
+            values[kern.outputs] = acc
+        return values
+
+    # ------------------------------------------------------------------ #
+    # Fan-out cones
+    # ------------------------------------------------------------------ #
+    def _reach_bitsets(self) -> np.ndarray:
+        """Per-net transitive fan-out gate sets as ``uint64`` bitsets.
+
+        Bit ``g`` of row ``net`` (little-endian across words) is 1 iff gate
+        ``g`` lies in the transitive fan-out cone of ``net``.  Built once with
+        a reverse-topological sweep: every reader gate contributes itself plus
+        the (already complete) cone of its output net.
+        """
+        if self._reach is None:
+            n_bit_words = (self.n_gates + WORD_BITS - 1) // WORD_BITS
+            reach = np.zeros((self.n_nets, max(n_bit_words, 1)), dtype=np.uint64)
+            gates = self.circuit.gates
+            for gi in range(self.n_gates - 1, -1, -1):
+                gate = gates[gi]
+                bit_word = gi >> 6
+                bit = np.uint64(1) << np.uint64(gi & 63)
+                out_row = reach[gate.output]
+                for src in set(gate.inputs):
+                    row = reach[src]
+                    row |= out_row
+                    row[bit_word] |= bit
+            self._reach = reach
+        return self._reach
+
+    def cone_gates(self, net: int) -> np.ndarray:
+        """Transitive fan-out gate indices of ``net`` (ascending = topological).
+
+        Cached per net; this is the set of gates that must be re-evaluated
+        when a stem fault is injected at ``net``.
+        """
+        cone = self._stem_cones.get(net)
+        if cone is None:
+            bits = np.unpackbits(
+                self._reach_bitsets()[net].view(np.uint8), bitorder="little"
+            )[: self.n_gates]
+            cone = np.flatnonzero(bits).astype(np.int32)
+            self._stem_cones[net] = cone
+        return cone
+
+    def fault_cone(self, fault: Fault) -> np.ndarray:
+        """Gate indices to re-evaluate for ``fault`` (ascending order)."""
+        if fault.is_stem:
+            return self.cone_gates(fault.net)
+        cone = self._gate_cones.get(fault.gate)
+        if cone is None:
+            downstream = self.cone_gates(int(self.gate_output[fault.gate]))
+            cone = np.union1d(
+                np.asarray([fault.gate], dtype=np.int32), downstream
+            ).astype(np.int32)
+            self._gate_cones[fault.gate] = cone
+        return cone
+
+    def _pin_offsets(self, gate: int, net: int) -> np.ndarray:
+        """Offsets (within the gate's fan-in segment) of pins reading ``net``."""
+        key = (gate, net)
+        rel = self._pin_offsets_cache.get(key)
+        if rel is None:
+            kern = self.kernels[self.gate_kernel[gate]]
+            pos = int(np.searchsorted(kern.gate_ids, gate))
+            start = int(kern.seg_starts[pos])
+            length = int(kern.seg_lengths[pos])
+            segment = kern.fanin_flat[start : start + length]
+            rel = np.flatnonzero(segment == net)
+            self._pin_offsets_cache[key] = rel
+        return rel
+
+    # ------------------------------------------------------------------ #
+    # Fault-parallel x pattern-parallel detection
+    # ------------------------------------------------------------------ #
+    def fault_batch_detection(
+        self,
+        faults: Sequence[Fault],
+        good: np.ndarray,
+        n_words: int,
+        valid_mask: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Detection words for a group of faults against one pattern batch.
+
+        Args:
+            faults: the faults simulated simultaneously (one column block of
+                ``n_words`` words each).
+            good: fault-free net values ``(n_nets, n_words)`` from
+                :meth:`simulate_words`.
+            n_words: number of 64-pattern words in the batch.
+            valid_mask: optional per-word mask of valid pattern bits.
+
+        Returns:
+            ``uint64`` array ``(len(faults), n_words)``; bit ``p % 64`` of
+            word ``p // 64`` of row ``i`` is 1 iff pattern ``p`` detects
+            ``faults[i]``.
+        """
+        n_faults = len(faults)
+        if n_faults == 0:
+            return np.zeros((0, n_words), dtype=np.uint64)
+
+        # Every fault owns the column block [fi*n_words, (fi+1)*n_words).
+        values = np.tile(good, (1, n_faults))
+        cols = [slice(fi * n_words, (fi + 1) * n_words) for fi in range(n_faults)]
+        stuck = [_ALL_ONES if f.stuck_value else _ZERO for f in faults]
+
+        member = np.zeros(self.n_gates, dtype=bool)
+        # kernel index -> [(net, column slice, stuck word, writer gate)]
+        stem_reforce: Dict[int, List[Tuple[int, slice, np.uint64, int]]] = {}
+        # kernel index -> [(gate id, pin offsets, column slice, stuck word)]
+        branch_inject: Dict[int, List[Tuple[int, np.ndarray, slice, np.uint64]]] = {}
+
+        for fi, fault in enumerate(faults):
+            cone = self.fault_cone(fault)
+            if cone.size:
+                member[cone] = True
+            if fault.is_stem:
+                values[fault.net, cols[fi]] = stuck[fi]
+                writer = int(self.net_writer_gate[fault.net])
+                if writer >= 0 and self.gate_kernel[writer] >= 0:
+                    stem_reforce.setdefault(
+                        int(self.gate_kernel[writer]), []
+                    ).append((fault.net, cols[fi], stuck[fi], writer))
+            else:
+                kernel_idx = int(self.gate_kernel[fault.gate])
+                rel = self._pin_offsets(fault.gate, fault.net)
+                branch_inject.setdefault(kernel_idx, []).append(
+                    (fault.gate, rel, cols[fi], stuck[fi])
+                )
+
+        for ki, kern in enumerate(self.kernels):
+            selected = member[kern.gate_ids]
+            if not selected.any():
+                continue
+            if selected.all():
+                fanin = kern.fanin_flat
+                offsets = kern.seg_starts
+                outputs = kern.outputs
+                invert = kern.invert
+                sel_ids = kern.gate_ids
+            else:
+                starts = kern.seg_starts[selected]
+                lengths = kern.seg_lengths[selected]
+                fanin = kern.fanin_flat[_ragged_positions(starts, lengths)]
+                offsets = np.zeros(starts.size, dtype=np.int64)
+                np.cumsum(lengths[:-1], out=offsets[1:])
+                outputs = kern.outputs[selected]
+                invert = kern.invert[selected]
+                sel_ids = kern.gate_ids[selected]
+            ops = values[fanin]
+            for gate_id, rel, col, stuck_word in branch_inject.get(ki, ()):
+                # fault.gate is always in its own cone, hence selected.
+                pos = int(np.searchsorted(sel_ids, gate_id))
+                ops[int(offsets[pos]) + rel, col] = stuck_word
+            acc = kern.ufunc.reduceat(ops, offsets, axis=0)
+            if kern.has_invert:
+                acc ^= invert[:, None]
+            values[outputs] = acc
+            for net, col, stuck_word, writer in stem_reforce.get(ki, ()):
+                # Re-force the stem if this kernel rewrote the faulty net
+                # (its driver may sit inside another group member's cone).
+                pos = int(np.searchsorted(sel_ids, writer))
+                if pos < sel_ids.size and sel_ids[pos] == writer:
+                    values[net, col] = stuck_word
+
+        if self.outputs.size == 0:
+            detection = np.zeros((n_faults, n_words), dtype=np.uint64)
+        else:
+            out_vals = values[self.outputs].reshape(
+                self.outputs.size, n_faults, n_words
+            )
+            diff = out_vals ^ good[self.outputs][:, None, :]
+            detection = np.bitwise_or.reduce(diff, axis=0)
+        if valid_mask is not None:
+            detection &= valid_mask[None, :]
+        return detection
+
+
+def compile_circuit(circuit: Circuit) -> CompiledCircuit:
+    """Compile ``circuit`` (cached on the circuit instance).
+
+    Circuits are immutable by convention, so the compiled engine -- including
+    its growing cone cache -- is shared by every simulator over the same
+    circuit object.
+    """
+    engine = getattr(circuit, "_compiled_engine", None)
+    if engine is None or engine.n_gates != circuit.n_gates:
+        engine = CompiledCircuit.from_circuit(circuit)
+        circuit._compiled_engine = engine
+    return engine

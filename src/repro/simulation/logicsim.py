@@ -2,10 +2,11 @@
 
 Random-pattern experiments need to evaluate thousands of patterns per circuit
 (Tables 2 and 4 of the paper use 4 000 and 12 000 patterns).  The simulator in
-this module packs 64 patterns into each ``numpy.uint64`` word and evaluates the
-levelized netlist once per word column, which is the standard
-"parallel-pattern single-fault propagation" substrate also used by
-:mod:`repro.faultsim`.
+this module packs 64 patterns into each ``numpy.uint64`` word and evaluates
+the netlist through the compiled structure-of-arrays engine
+(:mod:`repro.simulation.compiled`): gates are grouped into vectorized
+per-level kernels instead of being interpreted one at a time.  The same
+substrate drives the fault-parallel simulator in :mod:`repro.faultsim`.
 """
 
 from __future__ import annotations
@@ -14,8 +15,8 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..circuit.gates import eval_words
 from ..circuit.netlist import Circuit
+from .compiled import compile_circuit
 
 __all__ = ["LogicSimulator", "pack_patterns", "unpack_values", "WORD_BITS"]
 
@@ -91,6 +92,7 @@ class LogicSimulator:
 
     def __init__(self, circuit: Circuit):
         self.circuit = circuit
+        self._engine = compile_circuit(circuit)
 
     # ------------------------------------------------------------------ #
     def simulate_words(self, input_words: np.ndarray) -> np.ndarray:
@@ -104,20 +106,13 @@ class LogicSimulator:
             ``uint64`` array of shape ``(n_nets, n_words)`` with the value of
             every net for every pattern.
         """
-        circuit = self.circuit
         input_words = np.asarray(input_words, dtype=np.uint64)
-        if input_words.shape[0] != circuit.n_inputs:
+        if input_words.ndim != 2 or input_words.shape[0] != self.circuit.n_inputs:
             raise ValueError(
-                f"expected {circuit.n_inputs} input rows, got {input_words.shape[0]}"
+                f"expected {self.circuit.n_inputs} input rows, got "
+                f"{input_words.shape[0] if input_words.ndim == 2 else input_words.shape}"
             )
-        n_words = input_words.shape[1]
-        values = np.zeros((circuit.n_nets, n_words), dtype=np.uint64)
-        for row, net in enumerate(circuit.inputs):
-            values[net] = input_words[row]
-        for gate in circuit.gates:
-            operands = [values[src] for src in gate.inputs]
-            values[gate.output] = eval_words(gate.gate_type, operands, n_words)
-        return values
+        return self._engine.simulate_words(input_words)
 
     def simulate_patterns(self, patterns: np.ndarray) -> np.ndarray:
         """Simulate a boolean pattern matrix and return primary output values.

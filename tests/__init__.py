@@ -1,0 +1,1 @@
+"""Test suite package (enables the relative ``.helpers`` imports)."""

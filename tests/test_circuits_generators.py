@@ -25,7 +25,7 @@ from repro.circuits import (
 from repro.circuits.ecc import hamming_parameters
 from repro.simulation import LogicSimulator, evaluate_named
 
-from .helpers import bits_to_int, int_to_bits
+from .helpers import bits_to_int
 
 
 def _named_inputs(prefix, value, width):

@@ -1,0 +1,190 @@
+"""Equivalence tests for the compiled structure-of-arrays engine.
+
+The compiled engine (:mod:`repro.simulation.compiled`) must be *exact*: for
+every net, pattern and fault it has to agree with
+
+* the scalar reference simulator (:mod:`repro.simulation.eventsim`) and the
+  scalar fault injector (:func:`repro.faultsim.serial.simulate_with_fault`),
+* the per-fault interpreted baseline
+  (:class:`repro.faultsim.legacy.LegacyParallelFaultSimulator`), which is an
+  independent implementation of the same detection semantics.
+
+The checks run on C17, the adder generators and randomized netlists
+(property-style over many seeds), covering stem and branch faults, fault
+dropping, first-detection indices and detection counts.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import parse_bench
+from repro.circuits import carry_select_adder_circuit, ripple_adder_circuit
+from repro.faults import collapsed_fault_list, full_fault_list
+from repro.faultsim import LegacyParallelFaultSimulator, ParallelFaultSimulator
+from repro.faultsim.serial import detecting_pattern_count, fault_detected_by
+from repro.patterns import WeightedPatternGenerator
+from repro.simulation import LogicSimulator, compile_circuit, evaluate, pack_patterns
+from repro.simulation.compiled import first_detection_indices, popcount_words
+
+from .helpers import C17_BENCH, all_patterns, random_circuit
+
+
+def reference_circuits():
+    return [
+        parse_bench(C17_BENCH, name="c17"),
+        ripple_adder_circuit(width=4),
+        carry_select_adder_circuit(width=6, block=3),
+    ]
+
+
+def random_patterns(circuit, n_patterns, seed=5):
+    rng = np.random.default_rng(seed)
+    return rng.random((n_patterns, circuit.n_inputs)) < 0.5
+
+
+class TestCompiledLogicSimulation:
+    @pytest.mark.parametrize("circuit", reference_circuits(), ids=lambda c: c.name)
+    def test_matches_scalar_reference(self, circuit):
+        patterns = random_patterns(circuit, 130)
+        outputs = LogicSimulator(circuit).simulate_patterns(patterns)
+        for p, pattern in enumerate(patterns):
+            values = evaluate(circuit, list(pattern))
+            expected = [values[out] for out in circuit.outputs]
+            assert list(outputs[p]) == expected
+
+    def test_matches_scalar_reference_on_random_netlists(self):
+        rng = np.random.default_rng(99)
+        for _ in range(8):
+            circuit = random_circuit(rng, n_inputs=5, n_gates=14)
+            patterns = all_patterns(circuit.n_inputs)
+            outputs = LogicSimulator(circuit).simulate_patterns(patterns)
+            for p, pattern in enumerate(patterns):
+                values = evaluate(circuit, list(pattern))
+                assert list(outputs[p]) == [values[out] for out in circuit.outputs]
+
+    def test_every_net_matches_not_only_outputs(self):
+        circuit = parse_bench(C17_BENCH, name="c17")
+        patterns = all_patterns(circuit.n_inputs)
+        words = compile_circuit(circuit).simulate_words(pack_patterns(patterns))
+        for p, pattern in enumerate(patterns):
+            values = evaluate(circuit, list(pattern))
+            for net in range(circuit.n_nets):
+                bit = bool((int(words[net, p // 64]) >> (p % 64)) & 1)
+                assert bit == values[net], (p, net)
+
+
+class TestCompiledFaultDetection:
+    @pytest.mark.parametrize("circuit", reference_circuits(), ids=lambda c: c.name)
+    def test_first_detection_matches_scalar_reference(self, circuit):
+        faults = collapsed_fault_list(circuit)
+        patterns = random_patterns(circuit, 96, seed=7)
+        result = ParallelFaultSimulator(circuit, faults).run(patterns)
+        for fault in faults:
+            expected = None
+            for p, pattern in enumerate(patterns):
+                if fault_detected_by(circuit, fault, list(pattern)):
+                    expected = p
+                    break
+            assert result.first_detection.get(fault) == expected, fault
+
+    @pytest.mark.parametrize("circuit", reference_circuits(), ids=lambda c: c.name)
+    def test_detection_counts_match_scalar_reference(self, circuit):
+        # Branch faults included: full (uncollapsed) list exercises pin injection.
+        faults = full_fault_list(circuit)[::3]
+        patterns = random_patterns(circuit, 64, seed=11)
+        counts = ParallelFaultSimulator(circuit, faults).detection_counts(patterns)
+        for fi, fault in enumerate(faults):
+            expected = detecting_pattern_count(
+                circuit, fault, list(patterns), use_compiled=False
+            )
+            assert counts[fi] == expected, fault
+
+    def test_matches_legacy_engine_with_weighted_patterns(self):
+        circuit = carry_select_adder_circuit(width=6, block=3)
+        faults = collapsed_fault_list(circuit)
+        generator = WeightedPatternGenerator([0.7] * circuit.n_inputs, seed=42)
+        patterns = generator.generate(500)
+        compiled = ParallelFaultSimulator(circuit, faults).run(patterns, batch_size=128)
+        legacy = LegacyParallelFaultSimulator(circuit, faults).run(
+            patterns, batch_size=128
+        )
+        assert compiled.first_detection == legacy.first_detection
+        assert compiled.fault_coverage == legacy.fault_coverage
+
+    def test_matches_legacy_engine_without_dropping(self):
+        circuit = ripple_adder_circuit(width=4)
+        faults = full_fault_list(circuit)
+        patterns = random_patterns(circuit, 200, seed=3)
+        compiled = ParallelFaultSimulator(circuit, faults).detection_counts(patterns)
+        legacy = LegacyParallelFaultSimulator(circuit, faults).detection_counts(patterns)
+        assert np.array_equal(compiled, legacy)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_property_random_netlists_match_legacy(self, seed):
+        rng = np.random.default_rng(seed)
+        circuit = random_circuit(rng, n_inputs=4, n_gates=10)
+        faults = full_fault_list(circuit)
+        patterns = all_patterns(circuit.n_inputs)
+        compiled = ParallelFaultSimulator(circuit, faults).run(
+            patterns, drop_detected=False
+        )
+        legacy = LegacyParallelFaultSimulator(circuit, faults).run(
+            patterns, drop_detected=False
+        )
+        assert compiled.first_detection == legacy.first_detection
+
+    @pytest.mark.parametrize(
+        "engine", [ParallelFaultSimulator, LegacyParallelFaultSimulator]
+    )
+    def test_no_dropping_keeps_global_first_detection(self, engine):
+        # Regression: with drop_detected=False a fault stays live after its
+        # first detection; later batches must not overwrite the index.
+        circuit = parse_bench(C17_BENCH, name="c17")
+        faults = collapsed_fault_list(circuit)
+        patterns = random_patterns(circuit, 64, seed=21)
+        dropped = engine(circuit, faults).run(patterns, batch_size=8)
+        kept = engine(circuit, faults).run(
+            patterns, drop_detected=False, batch_size=8
+        )
+        assert kept.first_detection == dropped.first_detection
+
+    def test_group_size_does_not_change_results(self):
+        circuit = parse_bench(C17_BENCH, name="c17")
+        faults = collapsed_fault_list(circuit)
+        patterns = random_patterns(circuit, 100, seed=13)
+        baseline = ParallelFaultSimulator(circuit, faults, fault_group=1).run(patterns)
+        for group in (2, 7, len(faults)):
+            result = ParallelFaultSimulator(circuit, faults, fault_group=group).run(
+                patterns
+            )
+            assert result.first_detection == baseline.first_detection
+
+
+class TestCompiledStructures:
+    def test_cones_match_netlist_transitive_fanout(self):
+        rng = np.random.default_rng(17)
+        circuit = random_circuit(rng, n_inputs=5, n_gates=20)
+        engine = compile_circuit(circuit)
+        for net in range(circuit.n_nets):
+            expected = np.asarray(circuit.transitive_fanout_gates(net), dtype=np.int32)
+            assert np.array_equal(engine.cone_gates(net), expected), net
+
+    def test_engine_is_cached_per_circuit_instance(self):
+        circuit = parse_bench(C17_BENCH, name="c17")
+        assert compile_circuit(circuit) is compile_circuit(circuit)
+
+    def test_first_detection_indices_helper(self):
+        words = np.zeros((4, 3), dtype=np.uint64)
+        words[1, 0] = np.uint64(1) << np.uint64(13)
+        words[2, 2] = np.uint64(1) << np.uint64(63)
+        words[3, 1] = np.uint64(0b1010)
+        assert list(first_detection_indices(words)) == [-1, 13, 2 * 64 + 63, 64 + 1]
+
+    def test_popcount_words_helper(self):
+        words = np.asarray(
+            [[0, 0], [0xFFFFFFFFFFFFFFFF, 1], [0b1011, 0]], dtype=np.uint64
+        )
+        assert list(popcount_words(words)) == [0, 65, 3]

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.circuit import CircuitBuilder, GateType, parse_bench
+from repro.circuit import CircuitBuilder, parse_bench
 from repro.faults import (
     Fault,
     collapse_faults,

@@ -68,7 +68,11 @@ class TestParallelSimulator:
         simulator = ParallelFaultSimulator(circuit, faults)
         counts = simulator.detection_counts(patterns)
         for fault, count in zip(faults, counts):
-            expected = detecting_pattern_count(circuit, fault, patterns)
+            # use_compiled=False: keep this a true differential test against
+            # the scalar reference, not the compiled engine against itself.
+            expected = detecting_pattern_count(
+                circuit, fault, patterns, use_compiled=False
+            )
             assert count == expected, fault.describe(circuit)
 
     @given(seed=st.integers(0, 2**16))
@@ -80,7 +84,9 @@ class TestParallelSimulator:
         patterns = all_patterns(circuit.n_inputs)
         counts = ParallelFaultSimulator(circuit, faults).detection_counts(patterns)
         for fault, count in zip(faults, counts):
-            assert count == detecting_pattern_count(circuit, fault, patterns)
+            assert count == detecting_pattern_count(
+                circuit, fault, patterns, use_compiled=False
+            )
 
     def test_first_detection_index_is_earliest(self):
         circuit = half_adder_circuit()

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.circuits import comparator_circuit
-from repro.faults import Fault, collapsed_fault_list
+from repro.faults import Fault
 from repro.patterns import (
     LFSR,
     MISR,
@@ -19,7 +19,6 @@ from repro.patterns import (
     self_test_detects_fault,
     validate_weights,
 )
-from repro.patterns.lfsr import PRIMITIVE_TAPS
 
 from .helpers import half_adder_circuit
 
