@@ -12,6 +12,7 @@ import numpy as np
 import pytest
 
 from repro.analysis import (
+    BatchedCopEstimator,
     CopDetectionEstimator,
     MonteCarloDetectionEstimator,
     StafanDetectionEstimator,
@@ -36,7 +37,8 @@ def _optimize_with(estimator_name, estimator):
 @pytest.mark.parametrize(
     "name,estimator",
     [
-        ("COP (PROTEST role)", CopDetectionEstimator()),
+        ("COP scalar (reference)", CopDetectionEstimator()),
+        ("COP batched (compiled)", BatchedCopEstimator()),
         ("STAFAN-style", StafanDetectionEstimator(n_samples=1024)),
         ("Monte-Carlo", MonteCarloDetectionEstimator(n_samples=512, fixed_seed=True)),
     ],
@@ -65,6 +67,8 @@ def test_estimator_agreement_with_sampling():
         circuit, faults, weights
     )
     cop = CopDetectionEstimator().detection_probabilities(circuit, faults, weights)
+    batched = BatchedCopEstimator().detection_probabilities(circuit, faults, weights)
+    assert np.array_equal(cop, batched), "batched COP must equal the scalar reference"
     stafan = StafanDetectionEstimator(n_samples=4096).detection_probabilities(
         circuit, faults, weights
     )

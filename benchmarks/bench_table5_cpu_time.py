@@ -1,25 +1,169 @@
-"""Table 5 — CPU time of the weight optimization.
+"""Table 5 — CPU time of the weight optimization, scalar vs batched COP.
 
 Times the optimization of every starred circuit (forcing a fresh run inside
 the measured region).  Absolute numbers are hardware-dependent — the paper's
-300-2000 s were measured on a ~2.5 MIPS SIEMENS 7561 — so the check is only
-that the optimization completes within an interactive budget and that the cost
-is reported next to the paper's value.
+300-2000 s were measured on a ~2.5 MIPS SIEMENS 7561 — so the checks are that
+the optimization completes within an interactive budget and that the batched
+COP engine (:mod:`repro.analysis.compiled`) beats the scalar reference
+estimator end to end *while producing a bit-identical test-length history*
+(the two estimators are the same mathematical specification, compiled two
+different ways).
+
+Two entry points:
+
+* pytest-benchmark tests (statistical timing, ``pytest benchmarks/``),
+* a standalone script for CI smoke runs and JSON artifacts::
+
+      python benchmarks/bench_table5_cpu_time.py --quick --json out.json
 """
 
-import pytest
+import argparse
+import json
+import sys
+from pathlib import Path
 
-from repro.experiments import format_table5, run_table5
+try:
+    import repro  # noqa: F401  (installed package takes precedence)
+except ImportError:  # pragma: no cover - fresh clone without `pip install -e .`
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments import (
+    clear_caches,
+    format_table5,
+    format_table5_speedup,
+    run_table5,
+    run_table5_speedup,
+)
+
+#: Largest circuit of the registry (by gate count); the acceptance workload.
+_LARGEST_CIRCUIT_KEY = "s2"
 
 
-@pytest.mark.benchmark(group="table5")
-def test_table5_optimization_cpu_time(benchmark, pedantic_kwargs):
-    rows = benchmark.pedantic(lambda: run_table5(force=True), **pedantic_kwargs)
-    print()
-    print(format_table5(rows))
+# --------------------------------------------------------------------------- #
+# pytest-benchmark entry points
+# --------------------------------------------------------------------------- #
+try:
+    import pytest
+except ImportError:  # pragma: no cover - script mode without pytest
+    pytest = None
 
-    for row in rows:
-        assert row.measured_seconds < 300.0, (
-            f"optimizing {row.paper_name} took {row.measured_seconds:.1f}s, "
-            "far beyond the expected laptop-scale budget"
+
+if pytest is not None:
+
+    @pytest.mark.benchmark(group="table5")
+    def test_table5_optimization_cpu_time(benchmark, pedantic_kwargs):
+        rows = benchmark.pedantic(lambda: run_table5(force=True), **pedantic_kwargs)
+        print()
+        print(format_table5(rows))
+
+        for row in rows:
+            assert row.measured_seconds < 300.0, (
+                f"optimizing {row.paper_name} took {row.measured_seconds:.1f}s, "
+                "far beyond the expected laptop-scale budget"
+            )
+
+    @pytest.mark.benchmark(group="table5-speedup")
+    def test_table5_scalar_vs_batched_estimator(benchmark, pedantic_kwargs):
+        rows = benchmark.pedantic(run_table5_speedup, **pedantic_kwargs)
+        print()
+        print(format_table5_speedup(rows))
+
+        for row in rows:
+            assert row.histories_equal, (
+                f"{row.paper_name}: the batched COP engine drifted from the "
+                "scalar reference (test-length histories differ)"
+            )
+        # Locally measured band is 5-7x; assert below it so a loaded machine
+        # cannot fail the run spuriously while real regressions still trip it
+        # (the standalone CLI gate accepts --min-speedup for stricter checks).
+        largest = next(row for row in rows if row.key == _LARGEST_CIRCUIT_KEY)
+        assert largest.speedup >= 4.0, (
+            f"batched estimator only {largest.speedup:.1f}x faster than the "
+            f"scalar reference on {largest.paper_name}"
         )
+
+
+# --------------------------------------------------------------------------- #
+# Standalone comparison (CI smoke job, JSON artifact)
+# --------------------------------------------------------------------------- #
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--circuit",
+        default=None,
+        help="registry key of a single circuit to compare (default: all four "
+        "hard circuits)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"compare only the largest registry circuit "
+        f"({_LARGEST_CIRCUIT_KEY}) for CI smoke runs",
+    )
+    parser.add_argument("--json", metavar="PATH", help="write results as JSON")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero if the batched estimator is less than this many "
+        "times faster than the scalar reference on the largest compared "
+        "circuit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.circuit is not None:
+        keys = [args.circuit]
+    elif args.quick:
+        keys = [_LARGEST_CIRCUIT_KEY]
+    else:
+        keys = None
+    clear_caches()
+    rows = run_table5_speedup(keys=keys)
+    if not rows:
+        print(f"no hard circuit matches {keys!r}", file=sys.stderr)
+        return 2
+
+    print(format_table5_speedup(rows))
+
+    if args.json:
+        payload = [
+            {
+                "circuit": row.key,
+                "n_gates": row.n_gates,
+                "n_inputs": row.n_inputs,
+                "n_faults": row.n_faults,
+                "scalar_seconds": row.scalar_seconds,
+                "batched_seconds": row.batched_seconds,
+                "speedup": row.speedup,
+                "test_length": row.test_length,
+                "histories_equal": row.histories_equal,
+            }
+            for row in rows
+        ]
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
+
+    failed = False
+    for row in rows:
+        if not row.histories_equal:
+            print(
+                f"FAIL: {row.paper_name}: batched and scalar test-length "
+                "histories differ",
+                file=sys.stderr,
+            )
+            failed = True
+    if args.min_speedup is not None:
+        largest = max(rows, key=lambda row: row.n_gates)
+        if largest.speedup < args.min_speedup:
+            print(
+                f"FAIL: speedup {largest.speedup:.1f}x on {largest.paper_name} "
+                f"below required {args.min_speedup:.1f}x",
+                file=sys.stderr,
+            )
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,546 @@
+"""Batched structure-of-arrays COP engine (compiled probability analysis).
+
+The scalar analysis path (:func:`repro.analysis.signal_prob.signal_probabilities`
+followed by :func:`repro.analysis.observability.observabilities` and the
+per-fault loop of :class:`repro.analysis.detection.CopDetectionEstimator`)
+walks every gate in a Python loop per analysed weight vector.  The PROTEST
+optimizer calls that pipeline ``2 x n_inputs + 1`` times per sweep, which makes
+interpreter time the dominant cost of the Table 5 reproduction.
+
+:class:`CompiledCop` lowers a circuit *once* into flat per-level float kernels
+and evaluates a whole batch of ``B`` weight vectors per pass:
+
+* **Forward pass** — signal probabilities as ``(B, n_nets)`` float64 arrays.
+  Gates are grouped into the same ``(level, base op)`` kernels as the logic
+  engine (:mod:`repro.simulation.compiled`); every kernel folds its operand
+  columns positionally, so AND kernels compute ``prod(p)``, OR kernels
+  ``prod(1 - p)`` and XOR kernels the sequential parity fold — *in exactly the
+  operand order of the scalar evaluator*, which makes the result bit-identical
+  to :func:`signal_probabilities` (asserted by the differential tests).
+* **Row overrides** — each row of the batch can pin primary inputs to fixed
+  probabilities, exactly like stem-fault row forcing in the fault-simulation
+  engine.  This is how PREPARE submits all of a sweep's cofactor analyses
+  (input ``i`` pinned to 0 and to 1) as one batch.
+* **Backward pass** — per-net and per-pin COP observabilities ``(B, n_nets)``
+  and ``(B, n_pins)``.  Levels are processed in descending order; side-input
+  products and the fan-out "miss" accumulation replicate the scalar fold
+  order (duplicate source nets within a level are multiplied in compile-time
+  "rounds"), again keeping the floats bit-identical to
+  :func:`repro.analysis.observability.observabilities`.
+* **Detection probabilities** — one vectorized gather per fault list:
+  ``p_f = activation x observability`` for all ``(row, fault)`` pairs at once.
+
+:class:`BatchedCopEstimator` wraps the engine behind the
+:class:`~repro.analysis.detection.DetectionProbabilityEstimator` protocol (and
+its batched extension), so it is a drop-in replacement for the scalar
+:class:`~repro.analysis.detection.CopDetectionEstimator` everywhere an
+estimator is pluggable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit.gates import INVERTING_GATES, GateType
+from ..circuit.netlist import Circuit
+from ..faults.model import Fault
+from .signal_prob import input_probability_vector, validate_input_override
+
+__all__ = [
+    "CompiledCop",
+    "BatchedCopResult",
+    "BatchedCopEstimator",
+    "compile_cop",
+]
+
+#: Base operations shared with the logic-simulation kernels.
+_OP_AND = 0
+_OP_OR = 1
+_OP_XOR = 2
+
+_GATE_OP = {
+    GateType.AND: _OP_AND,
+    GateType.NAND: _OP_AND,
+    GateType.BUF: _OP_AND,  # 1-input AND
+    GateType.NOT: _OP_AND,  # 1-input AND + inversion
+    GateType.OR: _OP_OR,
+    GateType.NOR: _OP_OR,
+    GateType.XOR: _OP_XOR,
+    GateType.XNOR: _OP_XOR,
+}
+
+
+@dataclass
+class _ForwardKernel:
+    """All gates of one logic level sharing one base operation.
+
+    ``slot_gates[j]`` / ``slot_nets[j]`` select, for operand position ``j``,
+    the kernel-local gate indices that have at least ``j + 1`` inputs and the
+    net each of those gates reads at position ``j``.  Folding position by
+    position reproduces the scalar left-to-right evaluation bit for bit.
+    """
+
+    level: int
+    op: int
+    outputs: np.ndarray  # int32 net ids driven by the gates
+    invert: np.ndarray  # bool per gate (NAND/NOR/XNOR/NOT)
+    slot_gates: List[np.ndarray]  # per position: kernel-local gate indices
+    slot_nets: List[np.ndarray]  # per position: operand net ids
+
+
+@dataclass
+class _BackwardLevel:
+    """All gates of one logic level, prepared for the observability pass.
+
+    Pins are laid out in ``(gate ascending, position ascending)`` order; the
+    same order defines the global pin-slot numbering used by
+    :attr:`CompiledCop.pin_slot_of`.  ``rounds`` splits the pin sequence into
+    chunks whose source nets are unique, so the multiplicative "miss"
+    accumulation can run vectorized while preserving the scalar fold order for
+    nets read several times within the level.
+    """
+
+    level: int
+    outputs: np.ndarray  # int32 output net per gate (ascending gate order)
+    pin_src: np.ndarray  # int32 source net per pin
+    pin_gate_local: np.ndarray  # int32 level-local gate index per pin
+    pin_slot: np.ndarray  # int64 global pin slot per pin
+    transparent: np.ndarray  # bool per pin: XOR/XNOR/NOT/BUF (obs = out obs)
+    # Side-product plan: per pin position j, the pins at that position with a
+    # product-type gate (AND/NAND/OR/NOR), and per side position k the subset
+    # of those pins whose gate has > k inputs together with the side net and
+    # whether the OR transform (1 - p) applies.
+    side_plan: List[Tuple[np.ndarray, List[Tuple[np.ndarray, np.ndarray, np.ndarray]]]]
+    rounds: List[np.ndarray]  # per round: pin indices with unique source nets
+
+
+@dataclass
+class BatchedCopResult:
+    """One batched COP analysis: everything the detection estimate needs.
+
+    Attributes:
+        probs: signal probability per ``(row, net)``.
+        net_obs: COP observability per ``(row, net)``.
+        pin_obs: observability per ``(row, global pin slot)``; slots are
+            assigned by :meth:`CompiledCop.pin_slot_of`.
+    """
+
+    probs: np.ndarray
+    net_obs: np.ndarray
+    pin_obs: np.ndarray
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.probs.shape[0])
+
+
+class CompiledCop:
+    """Array-compiled COP analysis of a :class:`~repro.circuit.netlist.Circuit`.
+
+    Build via :func:`compile_cop` (cached per circuit instance).
+    """
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self.n_nets = circuit.n_nets
+        self.n_inputs = circuit.n_inputs
+        self.inputs = np.asarray(circuit.inputs, dtype=np.int64)
+        self.output_nets = np.asarray(sorted(set(circuit.outputs)), dtype=np.int64)
+        levels = circuit.levels()
+
+        const0: List[int] = []
+        const1: List[int] = []
+        forward_groups: Dict[Tuple[int, int], List[int]] = {}
+        backward_groups: Dict[int, List[int]] = {}
+        for gi, gate in enumerate(circuit.gates):
+            if gate.gate_type is GateType.CONST0:
+                const0.append(gate.output)
+                continue
+            if gate.gate_type is GateType.CONST1:
+                const1.append(gate.output)
+                continue
+            level = levels[gate.output]
+            forward_groups.setdefault((level, _GATE_OP[gate.gate_type]), []).append(gi)
+            backward_groups.setdefault(level, []).append(gi)
+
+        self.const0_nets = np.asarray(const0, dtype=np.int64)
+        self.const1_nets = np.asarray(const1, dtype=np.int64)
+        self.forward_kernels = [
+            self._build_forward_kernel(level, op, sorted(gids))
+            for (level, op), gids in sorted(forward_groups.items())
+        ]
+
+        # Global pin slots follow the backward processing order: levels
+        # descending, gates ascending within a level, pins in position order.
+        self._pin_slot: Dict[Tuple[int, int], int] = {}
+        self.backward_levels: List[_BackwardLevel] = []
+        for level in sorted(backward_groups, reverse=True):
+            self.backward_levels.append(
+                self._build_backward_level(level, sorted(backward_groups[level]))
+            )
+        self.n_pins = len(self._pin_slot)
+
+        self._fault_plans: Dict[Tuple[Fault, ...], Tuple[np.ndarray, ...]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Compilation
+    # ------------------------------------------------------------------ #
+    def _build_forward_kernel(self, level: int, op: int, gids: List[int]) -> _ForwardKernel:
+        gates = self.circuit.gates
+        outputs = np.asarray([gates[gi].output for gi in gids], dtype=np.int32)
+        invert = np.asarray(
+            [gates[gi].gate_type in INVERTING_GATES for gi in gids], dtype=bool
+        )
+        max_arity = max(gates[gi].arity for gi in gids)
+        slot_gates: List[np.ndarray] = []
+        slot_nets: List[np.ndarray] = []
+        for j in range(max_arity):
+            local = [k for k, gi in enumerate(gids) if gates[gi].arity > j]
+            slot_gates.append(np.asarray(local, dtype=np.int64))
+            slot_nets.append(
+                np.asarray([gates[gids[k]].inputs[j] for k in local], dtype=np.int64)
+            )
+        return _ForwardKernel(level, op, outputs, invert, slot_gates, slot_nets)
+
+    def _build_backward_level(self, level: int, gids: List[int]) -> _BackwardLevel:
+        gates = self.circuit.gates
+        outputs = np.asarray([gates[gi].output for gi in gids], dtype=np.int32)
+
+        pin_src: List[int] = []
+        pin_gate_local: List[int] = []
+        pin_slot: List[int] = []
+        transparent: List[bool] = []
+        pin_position: List[int] = []
+        for local, gi in enumerate(gids):
+            gate = gates[gi]
+            is_transparent = gate.gate_type in (
+                GateType.XOR, GateType.XNOR, GateType.NOT, GateType.BUF
+            )
+            for position, src in enumerate(gate.inputs):
+                slot = len(self._pin_slot)
+                self._pin_slot[(gi, position)] = slot
+                pin_src.append(src)
+                pin_gate_local.append(local)
+                pin_slot.append(slot)
+                transparent.append(is_transparent)
+                pin_position.append(position)
+
+        pin_src_arr = np.asarray(pin_src, dtype=np.int64)
+        pin_position_arr = np.asarray(pin_position, dtype=np.int64)
+        transparent_arr = np.asarray(transparent, dtype=bool)
+
+        # Side-product plan for the AND/NAND/OR/NOR pins: replicate the scalar
+        # ``for k != position: factor *= t(p_k)`` fold, position by position.
+        max_arity = max(gates[gi].arity for gi in gids)
+        side_plan = []
+        for j in range(max_arity):
+            pins_j = np.flatnonzero((pin_position_arr == j) & ~transparent_arr)
+            if pins_j.size == 0:
+                continue
+            folds: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+            for k in range(max_arity):
+                if k == j:
+                    continue
+                rel: List[int] = []
+                nets: List[int] = []
+                or_flags: List[bool] = []
+                for r, pin in enumerate(pins_j):
+                    gate = gates[gids[pin_gate_local[pin]]]
+                    if gate.arity > k:
+                        rel.append(r)
+                        nets.append(gate.inputs[k])
+                        or_flags.append(gate.gate_type in (GateType.OR, GateType.NOR))
+                if rel:
+                    folds.append(
+                        (
+                            np.asarray(rel, dtype=np.int64),
+                            np.asarray(nets, dtype=np.int64),
+                            np.asarray(or_flags, dtype=bool),
+                        )
+                    )
+            side_plan.append((pins_j, folds))
+
+        # Miss-accumulation rounds: pins in sequence order, chunked so that no
+        # round touches the same source net twice.
+        occurrence: Dict[int, int] = {}
+        round_of = np.empty(pin_src_arr.size, dtype=np.int64)
+        for idx, src in enumerate(pin_src):
+            round_of[idx] = occurrence.get(src, 0)
+            occurrence[src] = round_of[idx] + 1
+        rounds = [
+            np.flatnonzero(round_of == r)
+            for r in range(int(round_of.max()) + 1 if round_of.size else 0)
+        ]
+
+        return _BackwardLevel(
+            level=level,
+            outputs=outputs,
+            pin_src=pin_src_arr,
+            pin_gate_local=np.asarray(pin_gate_local, dtype=np.int64),
+            pin_slot=np.asarray(pin_slot, dtype=np.int64),
+            transparent=transparent_arr,
+            side_plan=side_plan,
+            rounds=rounds,
+        )
+
+    def pin_slot_of(self, gate: int, position: int) -> int:
+        """Global pin slot of input ``position`` of ``gate``."""
+        return self._pin_slot[(gate, position)]
+
+    # ------------------------------------------------------------------ #
+    # Forward pass
+    # ------------------------------------------------------------------ #
+    def _weights_matrix(
+        self, weights: np.ndarray | Sequence[Sequence[float]]
+    ) -> np.ndarray:
+        matrix = np.asarray(weights, dtype=float)
+        if matrix.ndim == 1:
+            matrix = matrix[None, :]
+        if matrix.ndim != 2 or matrix.shape[1] != self.n_inputs:
+            raise ValueError(
+                f"expected a (B, {self.n_inputs}) weight matrix, got {matrix.shape}"
+            )
+        if np.any(matrix < 0.0) or np.any(matrix > 1.0):
+            raise ValueError("input probabilities must lie in [0, 1]")
+        return matrix
+
+    def _apply_overrides(
+        self,
+        probs: np.ndarray,
+        overrides: Optional[Sequence[Optional[Mapping[int, float]]]],
+    ) -> None:
+        if overrides is None:
+            return
+        if len(overrides) != probs.shape[0]:
+            raise ValueError(
+                f"expected one override mapping per row "
+                f"({probs.shape[0]}), got {len(overrides)}"
+            )
+        for row, mapping in enumerate(overrides):
+            if not mapping:
+                continue
+            for net, value in mapping.items():
+                probs[row, net] = validate_input_override(self.circuit, net, value)
+
+    def signal_probabilities_batch(
+        self,
+        weights: np.ndarray | Sequence[Sequence[float]],
+        overrides: Optional[Sequence[Optional[Mapping[int, float]]]] = None,
+    ) -> np.ndarray:
+        """Signal probability of every net for a batch of weight vectors.
+
+        Args:
+            weights: ``(B, n_inputs)`` matrix of input probabilities (a single
+                vector is promoted to a one-row batch).
+            overrides: optional per-row mappings ``input net id -> probability``
+                pinning primary inputs of individual rows (the PREPARE
+                cofactor mechanism).
+
+        Returns:
+            ``(B, n_nets)`` float64 array, bit-identical per row to the scalar
+            :func:`~repro.analysis.signal_prob.signal_probabilities`.
+        """
+        matrix = self._weights_matrix(weights)
+        n_rows = matrix.shape[0]
+        probs = np.zeros((n_rows, self.n_nets), dtype=float)
+        if self.inputs.size:
+            probs[:, self.inputs] = matrix
+        if self.const1_nets.size:
+            probs[:, self.const1_nets] = 1.0
+        self._apply_overrides(probs, overrides)
+
+        for kern in self.forward_kernels:
+            n_gates = kern.outputs.size
+            if kern.op == _OP_XOR:
+                acc = np.zeros((n_rows, n_gates), dtype=float)
+                for gates_j, nets_j in zip(kern.slot_gates, kern.slot_nets):
+                    p = probs[:, nets_j]
+                    prev = acc[:, gates_j]
+                    acc[:, gates_j] = prev * (1.0 - p) + (1.0 - prev) * p
+                value = np.where(kern.invert[None, :], 1.0 - acc, acc)
+            else:
+                acc = np.ones((n_rows, n_gates), dtype=float)
+                for gates_j, nets_j in zip(kern.slot_gates, kern.slot_nets):
+                    p = probs[:, nets_j]
+                    if kern.op == _OP_OR:
+                        p = 1.0 - p
+                    acc[:, gates_j] *= p
+                if kern.op == _OP_OR:
+                    value = np.where(kern.invert[None, :], acc, 1.0 - acc)
+                else:
+                    value = np.where(kern.invert[None, :], 1.0 - acc, acc)
+            probs[:, kern.outputs] = value
+        return probs
+
+    # ------------------------------------------------------------------ #
+    # Backward pass
+    # ------------------------------------------------------------------ #
+    def observabilities_batch(self, probs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Net and pin observabilities for a batch of signal probabilities.
+
+        Args:
+            probs: ``(B, n_nets)`` output of :meth:`signal_probabilities_batch`.
+
+        Returns:
+            ``(net_obs, pin_obs)`` with shapes ``(B, n_nets)`` and
+            ``(B, n_pins)``; bit-identical per row to the scalar
+            :func:`~repro.analysis.observability.observabilities`.
+        """
+        if probs.ndim != 2 or probs.shape[1] != self.n_nets:
+            raise ValueError(f"expected a (B, {self.n_nets}) matrix, got {probs.shape}")
+        n_rows = probs.shape[0]
+        miss = np.ones((n_rows, self.n_nets), dtype=float)
+        if self.output_nets.size:
+            miss[:, self.output_nets] = 0.0
+        pin_obs = np.zeros((n_rows, self.n_pins), dtype=float)
+
+        for group in self.backward_levels:
+            out_obs = 1.0 - miss[:, group.outputs]
+            obs = np.empty((n_rows, group.pin_src.size), dtype=float)
+            if group.transparent.any():
+                cols = np.flatnonzero(group.transparent)
+                obs[:, cols] = out_obs[:, group.pin_gate_local[cols]]
+            for pins_j, folds in group.side_plan:
+                factor = np.ones((n_rows, pins_j.size), dtype=float)
+                for rel, nets, or_flags in folds:
+                    p = probs[:, nets]
+                    p = np.where(or_flags[None, :], 1.0 - p, p)
+                    factor[:, rel] *= p
+                obs[:, pins_j] = out_obs[:, group.pin_gate_local[pins_j]] * factor
+            pin_obs[:, group.pin_slot] = obs
+            contrib = 1.0 - obs
+            for chunk in group.rounds:
+                miss[:, group.pin_src[chunk]] *= contrib[:, chunk]
+
+        return 1.0 - miss, pin_obs
+
+    def analyze(
+        self,
+        weights: np.ndarray | Sequence[Sequence[float]],
+        overrides: Optional[Sequence[Optional[Mapping[int, float]]]] = None,
+    ) -> BatchedCopResult:
+        """Full COP analysis (forward + backward) of a weight-vector batch."""
+        probs = self.signal_probabilities_batch(weights, overrides)
+        net_obs, pin_obs = self.observabilities_batch(probs)
+        return BatchedCopResult(probs=probs, net_obs=net_obs, pin_obs=pin_obs)
+
+    # ------------------------------------------------------------------ #
+    # Detection probabilities
+    # ------------------------------------------------------------------ #
+    def _fault_plan(self, faults: Sequence[Fault]) -> Tuple[np.ndarray, ...]:
+        key = tuple(faults)
+        plan = self._fault_plans.get(key)
+        if plan is None:
+            gates = self.circuit.gates
+            nets = np.asarray([f.net for f in faults], dtype=np.int64)
+            stuck = np.asarray([f.stuck_value for f in faults], dtype=bool)
+            stem = np.asarray([f.is_stem for f in faults], dtype=bool)
+            slots = np.zeros(len(faults), dtype=np.int64)
+            for fi, fault in enumerate(faults):
+                if fault.is_stem:
+                    continue
+                position = gates[fault.gate].inputs.index(fault.net)
+                slots[fi] = self._pin_slot[(fault.gate, position)]
+            plan = (nets, stuck, stem, slots)
+            if len(self._fault_plans) >= 16:
+                self._fault_plans.clear()
+            self._fault_plans[key] = plan
+        return plan
+
+    def detection_probabilities_batch(
+        self,
+        faults: Sequence[Fault],
+        analysis: BatchedCopResult,
+        clamp: float = 0.0,
+    ) -> np.ndarray:
+        """Detection probability of every fault for every batch row.
+
+        Args:
+            faults: faults of interest.
+            analysis: a :meth:`analyze` result for the weight batch.
+            clamp: optional floor applied to non-zero probabilities (mirrors
+                :class:`~repro.analysis.detection.CopDetectionEstimator`).
+
+        Returns:
+            ``(B, len(faults))`` array of ``p_f`` values.
+        """
+        if not faults:
+            return np.zeros((analysis.n_rows, 0), dtype=float)
+        nets, stuck, stem, slots = self._fault_plan(faults)
+        site_probs = analysis.probs[:, nets]
+        activation = np.where(stuck[None, :], 1.0 - site_probs, site_probs)
+        observation = analysis.net_obs[:, nets]
+        if not stem.all():
+            # Only gather pin observabilities when branch faults exist; a
+            # gate-free circuit has no pins at all (pin_obs is (B, 0)).
+            observation = np.where(
+                stem[None, :], observation, analysis.pin_obs[:, slots]
+            )
+        value = activation * observation
+        if clamp:
+            value = np.where(value > 0.0, np.maximum(value, clamp), value)
+        return value
+
+
+def compile_cop(circuit: Circuit) -> CompiledCop:
+    """Compile the COP analysis of ``circuit`` (cached on the instance).
+
+    Circuits are immutable by convention, so the compiled engine is shared by
+    every analysis over the same circuit object (mirroring
+    :func:`repro.simulation.compiled.compile_circuit`).
+    """
+    engine = getattr(circuit, "_compiled_cop", None)
+    if engine is None or engine.n_nets != circuit.n_nets:
+        engine = CompiledCop(circuit)
+        circuit._compiled_cop = engine
+    return engine
+
+
+class BatchedCopEstimator:
+    """Batched analytic detection-probability estimator (PROTEST's role).
+
+    Drop-in replacement for the scalar
+    :class:`~repro.analysis.detection.CopDetectionEstimator`: single-vector
+    calls go through the same kernels as batched calls and produce bit-identical
+    results to the scalar reference implementation.  The batch entry point
+    :meth:`detection_probabilities_batch` is what lets the optimizer submit all
+    ``2 x n_inputs`` PREPARE cofactors of a sweep in one vectorized pass.
+
+    Args:
+        clamp: probabilities are clamped to ``[clamp, 1]`` only when non-zero;
+            exact zeros are preserved (estimated redundancies).
+    """
+
+    def __init__(self, clamp: float = 0.0):
+        if clamp < 0.0 or clamp >= 1.0:
+            raise ValueError("clamp must lie in [0, 1)")
+        self.clamp = clamp
+
+    def detection_probabilities(
+        self,
+        circuit: Circuit,
+        faults: Sequence[Fault],
+        input_probs: Sequence[float],
+    ) -> np.ndarray:
+        """Scalar protocol entry point: one weight vector, one result row."""
+        vector = input_probability_vector(circuit, input_probs)
+        return self.detection_probabilities_batch(circuit, faults, vector[None, :])[0]
+
+    def detection_probabilities_batch(
+        self,
+        circuit: Circuit,
+        faults: Sequence[Fault],
+        weights: np.ndarray | Sequence[Sequence[float]],
+        overrides: Optional[Sequence[Optional[Mapping[int, float]]]] = None,
+    ) -> np.ndarray:
+        """Batched protocol entry point: ``(B, n_inputs) -> (B, len(faults))``.
+
+        ``overrides`` optionally pins primary inputs per row (the PREPARE
+        cofactor mechanism; see :meth:`CompiledCop.signal_probabilities_batch`).
+        """
+        engine = compile_cop(circuit)
+        analysis = engine.analyze(weights, overrides)
+        return engine.detection_probabilities_batch(faults, analysis, clamp=self.clamp)

@@ -16,19 +16,26 @@ observability of the fault site (per-pin observability for branch faults).
 
 from __future__ import annotations
 
-from typing import Optional, Protocol, Sequence, runtime_checkable
+from typing import Mapping, Optional, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
 from ..circuit.netlist import Circuit
 from ..faults.model import Fault
 from .observability import observabilities
-from .signal_prob import input_probability_vector, signal_probabilities
+from .signal_prob import (
+    input_probability_vector,
+    signal_probabilities,
+    validate_input_override,
+)
 
 __all__ = [
     "DetectionProbabilityEstimator",
+    "BatchDetectionProbabilityEstimator",
     "CopDetectionEstimator",
     "detection_probabilities",
+    "batch_detection_probabilities",
+    "cofactor_batch",
 ]
 
 
@@ -51,6 +58,90 @@ class DetectionProbabilityEstimator(Protocol):
     ) -> np.ndarray:
         """Return one detection probability per fault, in fault order."""
         ...  # pragma: no cover
+
+
+@runtime_checkable
+class BatchDetectionProbabilityEstimator(DetectionProbabilityEstimator, Protocol):
+    """An estimator that can evaluate a whole batch of weight vectors at once.
+
+    The optimizer's PREPARE step submits all ``2 x n_inputs`` cofactor
+    analyses of a sweep as a single batch when the estimator supports this
+    protocol; otherwise it falls back to one scalar analysis per row (see
+    :func:`batch_detection_probabilities`).  The reference implementation is
+    :class:`~repro.analysis.compiled.BatchedCopEstimator`.
+    """
+
+    def detection_probabilities_batch(
+        self,
+        circuit: Circuit,
+        faults: Sequence[Fault],
+        weights: np.ndarray,
+        overrides: Optional[Sequence[Optional[Mapping[int, float]]]] = None,
+    ) -> np.ndarray:
+        """Return a ``(B, len(faults))`` matrix of detection probabilities."""
+        ...  # pragma: no cover
+
+
+def batch_detection_probabilities(
+    circuit: Circuit,
+    faults: Sequence[Fault],
+    weights: np.ndarray,
+    estimator: DetectionProbabilityEstimator,
+    overrides: Optional[Sequence[Optional[Mapping[int, float]]]] = None,
+) -> np.ndarray:
+    """Detection probabilities for a ``(B, n_inputs)`` weight batch.
+
+    Uses the estimator's native batch entry point when it conforms to
+    :class:`BatchDetectionProbabilityEstimator`; any other estimator is driven
+    row by row (applying the per-row input overrides to the weight vector,
+    which is equivalent because overrides only pin primary inputs).
+    """
+    weights = np.asarray(weights, dtype=float)
+    if weights.ndim != 2 or weights.shape[1] != circuit.n_inputs:
+        raise ValueError(
+            f"expected a (B, {circuit.n_inputs}) weight matrix, got {weights.shape}"
+        )
+    if overrides is not None and len(overrides) != weights.shape[0]:
+        raise ValueError(
+            f"expected one override mapping per row ({weights.shape[0]}), "
+            f"got {len(overrides)}"
+        )
+    if isinstance(estimator, BatchDetectionProbabilityEstimator):
+        return estimator.detection_probabilities_batch(
+            circuit, faults, weights, overrides
+        )
+    column_of = {net: idx for idx, net in enumerate(circuit.inputs)}
+    faults = list(faults)
+    rows = np.zeros((weights.shape[0], len(faults)), dtype=float)
+    for row in range(weights.shape[0]):
+        vector = weights[row]
+        mapping = overrides[row] if overrides is not None else None
+        if mapping:
+            vector = vector.copy()
+            for net, value in mapping.items():
+                vector[column_of[net]] = validate_input_override(circuit, net, value)
+        rows[row] = estimator.detection_probabilities(circuit, faults, vector)
+    return rows
+
+
+def cofactor_batch(
+    circuit: Circuit, weights: np.ndarray
+) -> tuple[np.ndarray, list]:
+    """The PREPARE cofactor batch: base rows plus 0/1 input pins.
+
+    Returns ``(batch, overrides)`` for :func:`batch_detection_probabilities`:
+    rows ``2i`` / ``2i + 1`` carry the base ``weights`` with primary input
+    ``i`` pinned to 0 / 1 via a row override, so the caller recovers
+    ``p_f(X, 0|i)`` as row ``2i`` and ``p_f(X, 1|i)`` as row ``2i + 1``.
+    Shared by the optimizer's PREPARE step and the partitioner's direction
+    signatures, which must agree on this convention.
+    """
+    batch = np.tile(np.asarray(weights, dtype=float), (2 * circuit.n_inputs, 1))
+    overrides = []
+    for net in circuit.inputs:
+        overrides.append({net: 0.0})
+        overrides.append({net: 1.0})
+    return batch, overrides
 
 
 class CopDetectionEstimator:

@@ -70,10 +70,23 @@ def observabilities(circuit: Circuit, signal_probs: np.ndarray) -> Observability
     for out in output_set:
         miss[out] = 0.0
 
-    # Process gates in reverse topological order so that a gate's output
-    # observability is final before its input pins are computed (every consumer
-    # of the output has a higher gate index and was already visited).
-    for gi in range(circuit.n_gates - 1, -1, -1):
+    # Process gates by descending logic level (ascending gate index within a
+    # level) so that a gate's output observability is final before its input
+    # pins are computed: every consumer of the output sits at a strictly
+    # higher level and was already visited.  This level order is the canonical
+    # one shared with the batched engine (:mod:`repro.analysis.compiled`),
+    # which keeps the two implementations bit-identical, not merely close.
+    # The order is a pure function of the (immutable) circuit, so it is
+    # computed once and cached on the instance.
+    order = getattr(circuit, "_obs_gate_order", None)
+    if order is None or len(order) != circuit.n_gates:
+        levels = circuit.levels()
+        order = sorted(
+            range(circuit.n_gates),
+            key=lambda gi: (-levels[circuit.gates[gi].output], gi),
+        )
+        circuit._obs_gate_order = order
+    for gi in order:
         gate = circuit.gates[gi]
         out_obs = 1.0 - miss[gate.output]
         for position, src in enumerate(gate.inputs):

@@ -18,7 +18,33 @@ import numpy as np
 from ..circuit.gates import eval_probability
 from ..circuit.netlist import Circuit
 
-__all__ = ["signal_probabilities", "signal_probability", "input_probability_vector"]
+__all__ = [
+    "signal_probabilities",
+    "signal_probability",
+    "input_probability_vector",
+    "validate_input_override",
+]
+
+
+def validate_input_override(circuit: Circuit, net: int, value: float) -> float:
+    """Validate one override entry and return its probability as ``float``.
+
+    Shared by the scalar path, the batched engine and the row-by-row fallback
+    driver, so the two analysis implementations cannot drift in what they
+    accept: only primary inputs may be pinned (pinning a driven net would
+    silently shadow its driving gate) and the pinned value must be a
+    probability.
+    """
+    if circuit.driver_index(net) is not None:
+        raise ValueError(
+            f"override on net {circuit.net_name(net)!r}: only primary inputs "
+            "can be overridden (pinning a driven net would silently shadow "
+            "its driving gate)"
+        )
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError("override probabilities must lie in [0, 1]")
+    return value
 
 
 def input_probability_vector(
@@ -60,9 +86,12 @@ def signal_probabilities(
         circuit: network to analyse.
         input_probs: input probability specification (see
             :func:`input_probability_vector`).
-        overrides: optional mapping ``net id -> probability`` forcing specific
-            nets (used by the PREPARE step to compute cofactors with one input
-            pinned to 0 or 1).
+        overrides: optional mapping ``net id -> probability`` pinning primary
+            inputs (used by the PREPARE step to compute cofactors with one
+            input pinned to 0 or 1).  Overriding a net that is driven by a
+            gate is rejected (it would silently shadow the driving gate), as
+            is overriding an input that ``input_probs`` also names explicitly
+            (the override would silently shadow the mapping entry).
 
     Returns:
         array of length ``circuit.n_nets`` with the probability of each net
@@ -73,12 +102,20 @@ def signal_probabilities(
     for idx, net in enumerate(circuit.inputs):
         probs[net] = vector[idx]
     if overrides:
+        named = (
+            {circuit.net_index(name) for name in input_probs}
+            if isinstance(input_probs, Mapping)
+            else set()
+        )
         for net, value in overrides.items():
-            probs[net] = float(value)
-    override_nets = set(overrides or ())
+            if net in named:
+                raise ValueError(
+                    f"input {circuit.net_name(net)!r} is both named in "
+                    "input_probs and overridden; drop one of the two "
+                    "(the override would silently shadow the named value)"
+                )
+            probs[net] = validate_input_override(circuit, net, value)
     for gate in circuit.gates:
-        if gate.output in override_nets:
-            continue
         operands = [probs[src] for src in gate.inputs]
         probs[gate.output] = eval_probability(gate.gate_type, operands)
     return probs

@@ -27,7 +27,12 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..analysis.detection import CopDetectionEstimator, DetectionProbabilityEstimator
+from ..analysis.compiled import BatchedCopEstimator
+from ..analysis.detection import (
+    DetectionProbabilityEstimator,
+    batch_detection_probabilities,
+    cofactor_batch,
+)
 from ..circuit.netlist import Circuit
 from ..faults.collapse import collapsed_fault_list
 from ..faults.model import Fault
@@ -85,19 +90,15 @@ def _direction_signatures(
     """Sign of ``p_f(X,1|i) - p_f(X,0|i)`` for every (fault, input) pair.
 
     +1 means raising the input probability helps the fault, -1 means it hurts;
-    conflicting faults have strongly anti-correlated signature rows.
+    conflicting faults have strongly anti-correlated signature rows.  All
+    ``2 x n_inputs`` cofactor analyses run as one batch (row-wise input pins),
+    exactly like the optimizer's PREPARE step.
     """
-    n_inputs = circuit.n_inputs
-    signatures = np.zeros((len(faults), n_inputs))
-    for input_index in range(n_inputs):
-        pinned0 = weights.copy()
-        pinned0[input_index] = 0.0
-        pinned1 = weights.copy()
-        pinned1[input_index] = 1.0
-        p0 = estimator.detection_probabilities(circuit, list(faults), pinned0)
-        p1 = estimator.detection_probabilities(circuit, list(faults), pinned1)
-        signatures[:, input_index] = np.sign(p1 - p0)
-    return signatures
+    batch, overrides = cofactor_batch(circuit, weights)
+    rows = batch_detection_probabilities(
+        circuit, list(faults), batch, estimator, overrides
+    )
+    return np.sign(rows[1::2] - rows[0::2]).T
 
 
 def _group_by_signature(signatures: np.ndarray, max_groups: int) -> List[List[int]]:
@@ -145,7 +146,7 @@ def optimize_partitioned(
         optimizer_kwargs: forwarded to :class:`WeightOptimizer` (``alpha``,
             ``max_sweeps``, ``bounds`` ...).
     """
-    estimator = estimator if estimator is not None else CopDetectionEstimator()
+    estimator = estimator if estimator is not None else BatchedCopEstimator()
     all_faults: List[Fault] = (
         list(faults) if faults is not None else collapsed_fault_list(circuit)
     )

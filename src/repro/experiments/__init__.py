@@ -14,7 +14,14 @@ from .table1 import Table1Row, format_table1, run_table1
 from .table2 import Table2Row, format_table2, run_table2
 from .table3 import Table3Row, format_table3, run_table3
 from .table4 import Table4Row, format_table4, run_table4
-from .table5 import Table5Row, format_table5, run_table5
+from .table5 import (
+    Table5Row,
+    Table5SpeedupRow,
+    format_table5,
+    format_table5_speedup,
+    run_table5,
+    run_table5_speedup,
+)
 from .figure2 import Figure2Data, format_figure2, run_figure2
 from .appendix import AppendixListing, format_appendix, run_appendix
 
@@ -45,6 +52,9 @@ __all__ = [
     "Table5Row",
     "run_table5",
     "format_table5",
+    "Table5SpeedupRow",
+    "run_table5_speedup",
+    "format_table5_speedup",
     "Figure2Data",
     "run_figure2",
     "format_figure2",

@@ -98,24 +98,39 @@ def optimized_result(
     experiment: ExperimentCircuit,
     max_sweeps: int = OPTIMIZER_SWEEPS,
     force: bool = False,
+    estimator=None,
 ) -> OptimizationResult:
     """Optimized input probabilities for a suite circuit (cached).
 
     The cache means Table 3 (test lengths), Table 4 (coverage), Table 5 (CPU
     time) and the appendix all use the *same* optimization run, exactly as one
     PROTEST run feeds all of the paper's optimized-test numbers.
+
+    Args:
+        experiment: suite circuit to optimize.
+        max_sweeps: coordinate-descent sweep budget.
+        force: re-run even when a cached result exists (results computed with
+            a non-default ``estimator`` are never cached).
+        estimator: optional detection-probability estimator override; the
+            default is the batched COP engine
+            (:class:`repro.analysis.compiled.BatchedCopEstimator`).  Passing
+            the scalar :class:`repro.analysis.detection.CopDetectionEstimator`
+            reproduces bit-identical results one Python walk at a time, which
+            is what the Table 5 speedup benchmark exploits.
     """
-    if not force and experiment.key in _OPTIMIZATION_CACHE:
+    if estimator is None and not force and experiment.key in _OPTIMIZATION_CACHE:
         return _OPTIMIZATION_CACHE[experiment.key]
     start = time.perf_counter()
     result = optimize_input_probabilities(
         experiment.circuit,
         faults=experiment.faults,
+        estimator=estimator,
         confidence=CONFIDENCE,
         max_sweeps=max_sweeps,
     )
     # ``cpu_seconds`` is measured inside the optimizer; keep the outer timing
     # only as a sanity check that caching works as intended.
     del start
-    _OPTIMIZATION_CACHE[experiment.key] = result
+    if estimator is None:
+        _OPTIMIZATION_CACHE[experiment.key] = result
     return result

@@ -12,10 +12,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from ..analysis.compiled import BatchedCopEstimator
+from ..analysis.detection import CopDetectionEstimator
 from .suite import load_hard_suite, optimized_result
 from .tables import format_seconds, format_table
 
-__all__ = ["Table5Row", "run_table5", "format_table5"]
+__all__ = [
+    "Table5Row",
+    "run_table5",
+    "format_table5",
+    "Table5SpeedupRow",
+    "run_table5_speedup",
+    "format_table5_speedup",
+]
 
 
 @dataclass
@@ -56,6 +65,99 @@ def run_table5(force: bool = False) -> List[Table5Row]:
             )
         )
     return rows
+
+
+@dataclass
+class Table5SpeedupRow:
+    """Scalar-vs-batched estimator timing for one hard circuit.
+
+    The two runs execute the same ANALYSIS/PREPARE/OPTIMIZE procedure — one
+    with the scalar reference estimator (one Python walk per analysed weight
+    vector), one with the batched COP engine (all cofactors of a sweep in one
+    vectorized pass).  The two engines are bit-identical, so
+    ``histories_equal`` must be True; a False value means the compiled engine
+    drifted from the scalar specification.
+    """
+
+    key: str
+    paper_name: str
+    n_gates: int
+    n_inputs: int
+    n_faults: int
+    scalar_seconds: float
+    batched_seconds: float
+    test_length: int
+    histories_equal: bool
+
+    @property
+    def speedup(self) -> float:
+        if self.batched_seconds <= 0.0:
+            return float("inf")
+        return self.scalar_seconds / self.batched_seconds
+
+
+def run_table5_speedup(keys: Optional[List[str]] = None) -> List[Table5SpeedupRow]:
+    """Time the optimization with the scalar and the batched estimator.
+
+    Args:
+        keys: restrict to these circuit keys (default: all hard circuits).
+
+    Each engine sees a fresh, uncached optimization run; the recorded
+    test-length histories of the two runs are compared element-wise.
+    """
+    rows: List[Table5SpeedupRow] = []
+    for experiment in load_hard_suite():
+        if keys is not None and experiment.key not in keys:
+            continue
+        scalar = optimized_result(
+            experiment, force=True, estimator=CopDetectionEstimator()
+        )
+        batched = optimized_result(
+            experiment, force=True, estimator=BatchedCopEstimator()
+        )
+        rows.append(
+            Table5SpeedupRow(
+                key=experiment.key,
+                paper_name=experiment.paper_name,
+                n_gates=experiment.circuit.n_gates,
+                n_inputs=experiment.circuit.n_inputs,
+                n_faults=len(experiment.faults),
+                scalar_seconds=scalar.cpu_seconds,
+                batched_seconds=batched.cpu_seconds,
+                test_length=batched.test_length,
+                histories_equal=scalar.history == batched.history,
+            )
+        )
+    return rows
+
+
+def format_table5_speedup(rows: List[Table5SpeedupRow]) -> str:
+    return format_table(
+        [
+            "circuit",
+            "gates",
+            "inputs",
+            "faults",
+            "scalar estimator",
+            "batched estimator",
+            "speedup",
+            "histories equal",
+        ],
+        [
+            [
+                row.paper_name,
+                row.n_gates,
+                row.n_inputs,
+                row.n_faults,
+                format_seconds(row.scalar_seconds),
+                format_seconds(row.batched_seconds),
+                f"x{row.speedup:.1f}",
+                "yes" if row.histories_equal else "NO",
+            ]
+            for row in rows
+        ],
+        title="Table 5 addendum: scalar vs batched COP estimator CPU time",
+    )
 
 
 def format_table5(rows: List[Table5Row]) -> str:

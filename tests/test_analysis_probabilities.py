@@ -71,6 +71,30 @@ class TestSignalProbabilities:
         probs = signal_probabilities(circuit, 0.5, overrides={circuit.inputs[0]: 1.0})
         assert probs[carry] == pytest.approx(0.5)
 
+    def test_override_on_driven_net_rejected(self):
+        """Overriding a gate-output net used to silently shadow the driving
+        gate; it is now rejected (only primary inputs can be pinned)."""
+        circuit = half_adder_circuit()
+        carry = circuit.net_index("carry")
+        with pytest.raises(ValueError, match="driving gate"):
+            signal_probabilities(circuit, 0.5, overrides={carry: 1.0})
+
+    def test_override_colliding_with_named_input_rejected(self):
+        """An input both named in the probability mapping and overridden used
+        to silently take the override value; the collision is now an error."""
+        circuit = half_adder_circuit()
+        a = circuit.net_index("a")
+        with pytest.raises(ValueError, match="both named"):
+            signal_probabilities(circuit, {"a": 0.9}, overrides={a: 0.1})
+        # Naming a *different* input stays legal.
+        probs = signal_probabilities(circuit, {"b": 0.9}, overrides={a: 0.1})
+        assert probs[a] == pytest.approx(0.1)
+
+    def test_override_out_of_range_rejected(self):
+        circuit = half_adder_circuit()
+        with pytest.raises(ValueError, match="0, 1"):
+            signal_probabilities(circuit, 0.5, overrides={circuit.inputs[0]: 1.5})
+
     def test_mux_reconvergence_introduces_error(self):
         """COP is only an estimate under reconvergent fan-out; the error on the
         2:1 mux output is the classic example (estimate 0.5625 vs exact 0.5)."""
