@@ -22,31 +22,28 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    CopDetectionEstimator,
-    SelfTestSession,
-    collapsed_fault_list,
-    optimize_input_probabilities,
-    s1_comparator,
-)
+from repro import Session, SelfTestSession, s1_comparator
 from repro.core import quantize_to_lfsr_grid
 from repro.patterns import LfsrWeightedPatternGenerator, self_test_detects_fault
 
 
 def main(width: int = 10, n_patterns: int = 2_000) -> None:
-    circuit = s1_comparator(width=width)
-    faults = collapsed_fault_list(circuit)
+    # The pipeline session shares one compiled lowering between the analysis
+    # and the optimization below.
+    pipeline = Session(drop_redundant=False)
+    key = pipeline.add(s1_comparator(width=width))
+    circuit = pipeline.circuit(key)
+    faults = pipeline.faults(key)
     print(f"Circuit under test    : {circuit.summary()}")
 
     # Find the hardest fault under conventional random patterns.
-    estimator = CopDetectionEstimator()
-    probs = estimator.detection_probabilities(circuit, faults, [0.5] * circuit.n_inputs)
+    probs = pipeline.detection_probabilities(key)
     hardest = faults[int(np.argmin(probs))]
     print(f"Hardest fault         : {hardest.describe(circuit)} "
           f"(detection probability {probs.min():.2e} under equiprobable patterns)")
 
     # Optimize and map the weights onto a hardware weighting network grid.
-    result = optimize_input_probabilities(circuit, faults=faults)
+    result = pipeline.optimize(key)
     lfsr_weights = quantize_to_lfsr_grid(result.weights, resolution=5)
     generator = LfsrWeightedPatternGenerator(lfsr_weights, resolution=5)
     print(f"Optimized test length : ~{result.test_length:,} patterns")

@@ -20,27 +20,26 @@ from __future__ import annotations
 import numpy as np
 
 from repro import (
-    CopDetectionEstimator,
     MonteCarloDetectionEstimator,
-    collapsed_fault_list,
-    optimize_input_probabilities,
+    Session,
     optimize_partitioned,
     s2_divider,
 )
-from repro.analysis import remove_redundant
-from repro.core import required_test_length
 
 
 def main(width: int = 8) -> None:
-    circuit = s2_divider(width=width)
-    faults = remove_redundant(circuit, collapsed_fault_list(circuit))
+    # The pipeline session compiles the circuit's lowering once; the analytic
+    # estimate, the optimization and the Monte-Carlo fault simulation below
+    # all run on engines derived from that one artifact.
+    session = Session(confidence=0.999)
+    key = session.add(s2_divider(width=width))
+    circuit = session.circuit(key)
+    faults = session.faults(key)
     print(f"Circuit under test : {circuit.summary()}")
     print(f"Collapsed faults   : {len(faults)}")
 
     # --- Estimator comparison: analytic vs. sampled ------------------------
-    analytic = CopDetectionEstimator().detection_probabilities(
-        circuit, faults, [0.5] * circuit.n_inputs
-    )
+    analytic = session.detection_probabilities(key)
     sampled = MonteCarloDetectionEstimator(n_samples=2048, fixed_seed=True).detection_probabilities(
         circuit, faults, [0.5] * circuit.n_inputs
     )
@@ -50,9 +49,9 @@ def main(width: int = 8) -> None:
           f"{sampled[np.argmin(analytic)]:.2e} (sampled)")
 
     # --- Single optimized distribution --------------------------------------
-    conventional = required_test_length(analytic, confidence=0.999)
-    single = optimize_input_probabilities(circuit, faults=faults, confidence=0.999)
-    print(f"Conventional test  : ~{conventional.test_length:,} patterns")
+    conventional_length = session.required_length(key)
+    single = session.optimize(key)
+    print(f"Conventional test  : ~{conventional_length:,} patterns")
     print(f"Optimized test     : ~{single.test_length:,} patterns "
           f"({single.improvement_factor:,.0f}x shorter)")
     print("Dividend weights   :",

@@ -24,14 +24,12 @@ from pathlib import Path
 import numpy as np
 
 from repro import (
-    CopDetectionEstimator,
-    collapsed_fault_list,
-    optimize_input_probabilities,
+    Session,
     parse_bench,
     resistant_circuit,
     write_bench,
 )
-from repro.analysis import probability_bounds, remove_redundant
+from repro.analysis import probability_bounds
 from repro.circuit import circuit_stats
 
 
@@ -56,17 +54,19 @@ def main() -> None:
           f"[{lower[widest]:.3f}, {upper[widest]:.3f}] "
           "(reconvergent fan-out makes the exact value expensive)")
 
-    faults = remove_redundant(circuit, collapsed_fault_list(circuit))
-    probs = CopDetectionEstimator().detection_probabilities(
-        circuit, faults, [0.5] * circuit.n_inputs
-    )
+    # The session computes the collapsed, redundancy-filtered fault list and
+    # shares one compiled lowering between the analysis and the optimization.
+    session = Session(confidence=0.999)
+    key = session.add(circuit)
+    faults = session.faults(key)
+    probs = session.detection_probabilities(key)
     order = np.argsort(probs)
     print("Hardest faults under equiprobable patterns:")
     for index in order[:5]:
         print(f"  {faults[index].describe(circuit):40s} p = {probs[index]:.2e}")
 
     # --- 4. optimize and export weights --------------------------------------
-    result = optimize_input_probabilities(circuit, faults=faults)
+    result = session.optimize(key)
     weights_path = workdir / f"{original.name}.weights"
     with weights_path.open("w") as handle:
         for name, weight in sorted(result.weight_map.items()):

@@ -2,9 +2,11 @@
 """Quickstart: optimize the input probabilities of a random-pattern-resistant circuit.
 
 This walks through the complete flow of the library on the paper's flagship
-example, a cascaded magnitude comparator (S1):
+example, a cascaded magnitude comparator (S1), using the pipeline façade
+(:class:`repro.Session`) that runs every stage over one shared compiled
+lowering of the circuit:
 
-1. build the circuit,
+1. build the circuit and register it in a session,
 2. estimate how many *equiprobable* random patterns a self test would need,
 3. compute optimized input probabilities (the paper's contribution),
 4. estimate the new test length, and
@@ -21,34 +23,24 @@ import sys
 
 import numpy as np
 
-from repro import (
-    CopDetectionEstimator,
-    collapsed_fault_list,
-    optimize_input_probabilities,
-    random_pattern_coverage,
-    required_test_length,
-    s1_comparator,
-)
+from repro import Session, s1_comparator
 
 
 def main(width: int = 12, n_patterns: int = 4_000) -> None:
-    circuit = s1_comparator(width=width)
+    session = Session(confidence=0.999, drop_redundant=False)
+    key = session.add(s1_comparator(width=width))
+    circuit = session.circuit(key)
     print(f"Circuit under test : {circuit.summary()}")
-
-    faults = collapsed_fault_list(circuit)
-    print(f"Collapsed faults   : {len(faults)}")
+    print(f"Collapsed faults   : {len(session.faults(key))}")
 
     # --- Step 1: how bad is the conventional (equiprobable) random test? ----
-    estimator = CopDetectionEstimator()
-    conventional_probs = estimator.detection_probabilities(
-        circuit, faults, [0.5] * circuit.n_inputs
-    )
-    conventional = required_test_length(conventional_probs, confidence=0.999)
-    print(f"Conventional test  : ~{conventional.test_length:,} patterns needed "
+    conventional_probs = session.detection_probabilities(key)
+    conventional_length = session.required_length(key)
+    print(f"Conventional test  : ~{conventional_length:,} patterns needed "
           f"(hardest fault p = {conventional_probs.min():.2e})")
 
     # --- Step 2: optimize the input probabilities ---------------------------
-    result = optimize_input_probabilities(circuit, faults=faults, confidence=0.999)
+    result = session.optimize(key)
     print(f"Optimized test     : ~{result.test_length:,} patterns needed "
           f"({result.improvement_factor:,.0f}x shorter, {result.sweeps} sweeps, "
           f"{result.cpu_seconds:.1f} s)")
@@ -56,15 +48,16 @@ def main(width: int = 12, n_patterns: int = 4_000) -> None:
           np.array2string(result.quantized_weights, precision=2, separator=", "))
 
     # --- Step 3: verify by fault simulation ---------------------------------
-    before = random_pattern_coverage(circuit, n_patterns, faults=faults)
-    after = random_pattern_coverage(
-        circuit, n_patterns, weights=result.quantized_weights, faults=faults
-    )
+    before = session.fault_simulate(key, n_patterns)
+    after = session.fault_simulate(key, n_patterns, weights=result.quantized_weights)
     print(f"Fault coverage with {n_patterns:,} patterns:")
     print(f"  conventional     : {before.fault_coverage_percent:5.1f} % "
           f"({len(before.result.undetected)} faults missed)")
     print(f"  optimized        : {after.fault_coverage_percent:5.1f} % "
           f"({len(after.result.undetected)} faults missed)")
+
+    # Every stage above consumed one shared lowered-circuit artifact.
+    print(f"Circuit lowerings  : {session.total_lowerings} (compiled once, reused)")
 
 
 if __name__ == "__main__":

@@ -18,6 +18,7 @@ import sys
 import time
 
 from repro.experiments import (
+    experiment_session,
     format_appendix,
     format_figure2,
     format_table1,
@@ -54,6 +55,10 @@ def main(quick: bool = False) -> None:
     if not quick:
         _timed("Figure 2", run_figure2, format_figure2)
     _timed("Appendix", run_appendix, format_appendix)
+    session = experiment_session()
+    print(f"[{len(session.keys())} circuits lowered "
+          f"{session.total_lowerings} times across all tables — one compiled "
+          "lowering per circuit, shared by every stage]")
 
 
 if __name__ == "__main__":

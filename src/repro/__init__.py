@@ -15,7 +15,11 @@ The package is organised by subsystem:
   probability estimation (PROTEST's role).
 * :mod:`repro.core` — the paper's contribution: the objective function, the
   test-length computation and the per-input probability optimization.
+* :mod:`repro.lowered` — the shared lowered-circuit IR every compiled engine
+  consumes, with content-addressed cached compilation.
 * :mod:`repro.patterns` — LFSR/MISR/BILBO and weighted pattern generation.
+* :mod:`repro.pipeline` — the :class:`Session` façade running
+  analyze → optimize → quantize → fault-simulate with one lowering per circuit.
 * :mod:`repro.experiments` — runners that regenerate every table and figure.
 
 Typical use::
@@ -59,6 +63,7 @@ from .core import (
     quantize_weights,
     required_test_length,
 )
+from .lowered import LoweredCircuit, compile_lowered
 from .patterns import (
     LFSR,
     MISR,
@@ -66,6 +71,7 @@ from .patterns import (
     SelfTestSession,
     WeightedPatternGenerator,
 )
+from .pipeline import PipelineReport, Session
 
 __version__ = "1.0.0"
 
@@ -109,4 +115,8 @@ __all__ = [
     "WeightedPatternGenerator",
     "LfsrWeightedPatternGenerator",
     "SelfTestSession",
+    "LoweredCircuit",
+    "compile_lowered",
+    "Session",
+    "PipelineReport",
 ]

@@ -7,25 +7,30 @@ walks every gate in a Python loop per analysed weight vector.  The PROTEST
 optimizer calls that pipeline ``2 x n_inputs + 1`` times per sweep, which makes
 interpreter time the dominant cost of the Table 5 reproduction.
 
-:class:`CompiledCop` lowers a circuit *once* into flat per-level float kernels
-and evaluates a whole batch of ``B`` weight vectors per pass:
+:class:`CompiledCop` is the ``float64`` probability-domain interpretation of
+the shared lowered-circuit IR (:mod:`repro.lowered`): the level groups, pin
+slots and fan-in segments are lowered once by
+:func:`repro.lowered.compile_lowered` — the same artifact the logic/fault
+simulation engine consumes — and this engine derives its probability kernels
+from them, evaluating a whole batch of ``B`` weight vectors per pass:
 
 * **Forward pass** — signal probabilities as ``(B, n_nets)`` float64 arrays.
   Gates are grouped into the same ``(level, base op)`` kernels as the logic
-  engine (:mod:`repro.simulation.compiled`); every kernel folds its operand
-  columns positionally, so AND kernels compute ``prod(p)``, OR kernels
-  ``prod(1 - p)`` and XOR kernels the sequential parity fold — *in exactly the
-  operand order of the scalar evaluator*, which makes the result bit-identical
-  to :func:`signal_probabilities` (asserted by the differential tests).
+  engine; every kernel folds its operand columns positionally, so AND kernels
+  compute ``prod(p)``, OR kernels ``prod(1 - p)`` and XOR kernels the
+  sequential parity fold — *in exactly the operand order of the scalar
+  evaluator*, which makes the result bit-identical to
+  :func:`signal_probabilities` (asserted by the differential tests).
 * **Row overrides** — each row of the batch can pin primary inputs to fixed
   probabilities, exactly like stem-fault row forcing in the fault-simulation
   engine.  This is how PREPARE submits all of a sweep's cofactor analyses
   (input ``i`` pinned to 0 and to 1) as one batch.
 * **Backward pass** — per-net and per-pin COP observabilities ``(B, n_nets)``
-  and ``(B, n_pins)``.  Levels are processed in descending order; side-input
-  products and the fan-out "miss" accumulation replicate the scalar fold
-  order (duplicate source nets within a level are multiplied in compile-time
-  "rounds"), again keeping the floats bit-identical to
+  and ``(B, n_pins)``, laid out in the canonical pin-slot order defined by
+  the lowered IR (levels descending, gates ascending, positions ascending).
+  Side-input products and the fan-out "miss" accumulation replicate the
+  scalar fold order (duplicate source nets within a level are multiplied in
+  compile-time "rounds"), again keeping the floats bit-identical to
   :func:`repro.analysis.observability.observabilities`.
 * **Detection probabilities** — one vectorized gather per fault list:
   ``p_f = activation x observability`` for all ``(row, fault)`` pairs at once.
@@ -44,9 +49,16 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..circuit.gates import INVERTING_GATES, GateType
 from ..circuit.netlist import Circuit
 from ..faults.model import Fault
+from ..lowered import (
+    OP_OR,
+    OP_XOR,
+    LevelGroup,
+    LoweredCircuit,
+    PinLevel,
+    compile_lowered,
+)
 from .signal_prob import input_probability_vector, validate_input_override
 
 __all__ = [
@@ -55,22 +67,6 @@ __all__ = [
     "BatchedCopEstimator",
     "compile_cop",
 ]
-
-#: Base operations shared with the logic-simulation kernels.
-_OP_AND = 0
-_OP_OR = 1
-_OP_XOR = 2
-
-_GATE_OP = {
-    GateType.AND: _OP_AND,
-    GateType.NAND: _OP_AND,
-    GateType.BUF: _OP_AND,  # 1-input AND
-    GateType.NOT: _OP_AND,  # 1-input AND + inversion
-    GateType.OR: _OP_OR,
-    GateType.NOR: _OP_OR,
-    GateType.XOR: _OP_XOR,
-    GateType.XNOR: _OP_XOR,
-}
 
 
 @dataclass
@@ -96,23 +92,24 @@ class _BackwardLevel:
     """All gates of one logic level, prepared for the observability pass.
 
     Pins are laid out in ``(gate ascending, position ascending)`` order; the
-    same order defines the global pin-slot numbering used by
-    :attr:`CompiledCop.pin_slot_of`.  ``rounds`` splits the pin sequence into
-    chunks whose source nets are unique, so the multiplicative "miss"
-    accumulation can run vectorized while preserving the scalar fold order for
-    nets read several times within the level.
+    same order defines the global pin-slot numbering of the lowered IR
+    (:meth:`repro.lowered.LoweredCircuit.pin_slot_of`).  ``rounds`` splits the
+    pin sequence into chunks whose source nets are unique, so the
+    multiplicative "miss" accumulation can run vectorized while preserving
+    the scalar fold order for nets read several times within the level.
     """
 
     level: int
     outputs: np.ndarray  # int32 output net per gate (ascending gate order)
     pin_src: np.ndarray  # int32 source net per pin
-    pin_gate_local: np.ndarray  # int32 level-local gate index per pin
+    pin_gate_local: np.ndarray  # int64 level-local gate index per pin
     pin_slot: np.ndarray  # int64 global pin slot per pin
-    transparent: np.ndarray  # bool per pin: XOR/XNOR/NOT/BUF (obs = out obs)
+    transparent: np.ndarray  # bool per pin: XOR/XNOR (obs = out obs)
     # Side-product plan: per pin position j, the pins at that position with a
-    # product-type gate (AND/NAND/OR/NOR), and per side position k the subset
-    # of those pins whose gate has > k inputs together with the side net and
-    # whether the OR transform (1 - p) applies.
+    # product-type gate (AND/NAND/OR/NOR and the 1-input NOT/BUF, whose side
+    # product is empty), and per side position k the subset of those pins
+    # whose gate has > k inputs together with the side net and whether the OR
+    # transform (1 - p) applies.
     side_plan: List[Tuple[np.ndarray, List[Tuple[np.ndarray, np.ndarray, np.ndarray]]]]
     rounds: List[np.ndarray]  # per round: pin indices with unique source nets
 
@@ -125,7 +122,7 @@ class BatchedCopResult:
         probs: signal probability per ``(row, net)``.
         net_obs: COP observability per ``(row, net)``.
         pin_obs: observability per ``(row, global pin slot)``; slots are
-            assigned by :meth:`CompiledCop.pin_slot_of`.
+            assigned by :meth:`repro.lowered.LoweredCircuit.pin_slot_of`.
     """
 
     probs: np.ndarray
@@ -138,136 +135,95 @@ class BatchedCopResult:
 
 
 class CompiledCop:
-    """Array-compiled COP analysis of a :class:`~repro.circuit.netlist.Circuit`.
+    """Probability-domain engine over the shared :class:`LoweredCircuit` IR.
 
-    Build via :func:`compile_cop` (cached per circuit instance).
+    Build via :func:`compile_cop` (cached on the lowered artifact, which is
+    itself content-addressed per circuit structure).
     """
 
-    def __init__(self, circuit: Circuit):
-        self.circuit = circuit
-        self.n_nets = circuit.n_nets
-        self.n_inputs = circuit.n_inputs
-        self.inputs = np.asarray(circuit.inputs, dtype=np.int64)
-        self.output_nets = np.asarray(sorted(set(circuit.outputs)), dtype=np.int64)
-        levels = circuit.levels()
+    def __init__(self, lowered: LoweredCircuit):
+        self.lowered = lowered
+        self.circuit = lowered.circuit
+        self.n_nets = lowered.n_nets
+        self.n_inputs = lowered.n_inputs
+        self.inputs = lowered.inputs
+        self.output_nets = lowered.output_nets
+        self.const0_nets = lowered.const0_nets
+        self.const1_nets = lowered.const1_nets
+        self.n_pins = lowered.n_pins
 
-        const0: List[int] = []
-        const1: List[int] = []
-        forward_groups: Dict[Tuple[int, int], List[int]] = {}
-        backward_groups: Dict[int, List[int]] = {}
-        for gi, gate in enumerate(circuit.gates):
-            if gate.gate_type is GateType.CONST0:
-                const0.append(gate.output)
-                continue
-            if gate.gate_type is GateType.CONST1:
-                const1.append(gate.output)
-                continue
-            level = levels[gate.output]
-            forward_groups.setdefault((level, _GATE_OP[gate.gate_type]), []).append(gi)
-            backward_groups.setdefault(level, []).append(gi)
-
-        self.const0_nets = np.asarray(const0, dtype=np.int64)
-        self.const1_nets = np.asarray(const1, dtype=np.int64)
         self.forward_kernels = [
-            self._build_forward_kernel(level, op, sorted(gids))
-            for (level, op), gids in sorted(forward_groups.items())
+            self._build_forward_kernel(group) for group in lowered.groups
         ]
-
-        # Global pin slots follow the backward processing order: levels
-        # descending, gates ascending within a level, pins in position order.
-        self._pin_slot: Dict[Tuple[int, int], int] = {}
-        self.backward_levels: List[_BackwardLevel] = []
-        for level in sorted(backward_groups, reverse=True):
-            self.backward_levels.append(
-                self._build_backward_level(level, sorted(backward_groups[level]))
-            )
-        self.n_pins = len(self._pin_slot)
+        self.backward_levels = [
+            self._build_backward_level(pin_level) for pin_level in lowered.pin_levels
+        ]
 
         self._fault_plans: Dict[Tuple[Fault, ...], Tuple[np.ndarray, ...]] = {}
 
     # ------------------------------------------------------------------ #
     # Compilation
     # ------------------------------------------------------------------ #
-    def _build_forward_kernel(self, level: int, op: int, gids: List[int]) -> _ForwardKernel:
-        gates = self.circuit.gates
-        outputs = np.asarray([gates[gi].output for gi in gids], dtype=np.int32)
-        invert = np.asarray(
-            [gates[gi].gate_type in INVERTING_GATES for gi in gids], dtype=bool
-        )
-        max_arity = max(gates[gi].arity for gi in gids)
+    def _build_forward_kernel(self, group: LevelGroup) -> _ForwardKernel:
         slot_gates: List[np.ndarray] = []
         slot_nets: List[np.ndarray] = []
-        for j in range(max_arity):
-            local = [k for k, gi in enumerate(gids) if gates[gi].arity > j]
-            slot_gates.append(np.asarray(local, dtype=np.int64))
+        for j in range(group.max_arity):
+            local = np.flatnonzero(group.seg_lengths > j)
+            slot_gates.append(local)
             slot_nets.append(
-                np.asarray([gates[gids[k]].inputs[j] for k in local], dtype=np.int64)
+                group.fanin_flat[group.seg_starts[local] + j].astype(np.int64)
             )
-        return _ForwardKernel(level, op, outputs, invert, slot_gates, slot_nets)
+        return _ForwardKernel(
+            level=group.level,
+            op=group.op,
+            outputs=group.outputs,
+            invert=group.invert,
+            slot_gates=slot_gates,
+            slot_nets=slot_nets,
+        )
 
-    def _build_backward_level(self, level: int, gids: List[int]) -> _BackwardLevel:
-        gates = self.circuit.gates
-        outputs = np.asarray([gates[gi].output for gi in gids], dtype=np.int32)
-
-        pin_src: List[int] = []
-        pin_gate_local: List[int] = []
-        pin_slot: List[int] = []
-        transparent: List[bool] = []
-        pin_position: List[int] = []
-        for local, gi in enumerate(gids):
-            gate = gates[gi]
-            is_transparent = gate.gate_type in (
-                GateType.XOR, GateType.XNOR, GateType.NOT, GateType.BUF
-            )
-            for position, src in enumerate(gate.inputs):
-                slot = len(self._pin_slot)
-                self._pin_slot[(gi, position)] = slot
-                pin_src.append(src)
-                pin_gate_local.append(local)
-                pin_slot.append(slot)
-                transparent.append(is_transparent)
-                pin_position.append(position)
-
-        pin_src_arr = np.asarray(pin_src, dtype=np.int64)
-        pin_position_arr = np.asarray(pin_position, dtype=np.int64)
-        transparent_arr = np.asarray(transparent, dtype=bool)
+    def _build_backward_level(self, pin_level: PinLevel) -> _BackwardLevel:
+        lowered = self.lowered
+        pin_src = pin_level.pin_src
+        pin_gate_local = pin_level.pin_gate_local
+        pin_position = pin_level.pin_position
+        # XOR/XNOR pins propagate the output observability unchanged; the
+        # 1-input NOT/BUF "products" fold to the same value through an empty
+        # side plan, exactly like the scalar rule.
+        transparent = pin_level.ops[pin_gate_local] == OP_XOR
+        arities = lowered.gate_fanin_len[pin_level.gate_ids]
 
         # Side-product plan for the AND/NAND/OR/NOR pins: replicate the scalar
         # ``for k != position: factor *= t(p_k)`` fold, position by position.
-        max_arity = max(gates[gi].arity for gi in gids)
-        side_plan = []
+        max_arity = int(arities.max()) if arities.size else 0
+        side_plan: List[
+            Tuple[np.ndarray, List[Tuple[np.ndarray, np.ndarray, np.ndarray]]]
+        ] = []
         for j in range(max_arity):
-            pins_j = np.flatnonzero((pin_position_arr == j) & ~transparent_arr)
+            pins_j = np.flatnonzero((pin_position == j) & ~transparent)
             if pins_j.size == 0:
                 continue
+            pin_gates_j = pin_gate_local[pins_j]
             folds: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
             for k in range(max_arity):
                 if k == j:
                     continue
-                rel: List[int] = []
-                nets: List[int] = []
-                or_flags: List[bool] = []
-                for r, pin in enumerate(pins_j):
-                    gate = gates[gids[pin_gate_local[pin]]]
-                    if gate.arity > k:
-                        rel.append(r)
-                        nets.append(gate.inputs[k])
-                        or_flags.append(gate.gate_type in (GateType.OR, GateType.NOR))
-                if rel:
-                    folds.append(
-                        (
-                            np.asarray(rel, dtype=np.int64),
-                            np.asarray(nets, dtype=np.int64),
-                            np.asarray(or_flags, dtype=bool),
-                        )
-                    )
+                rel = np.flatnonzero(arities[pin_gates_j] > k)
+                if rel.size == 0:
+                    continue
+                gids = pin_level.gate_ids[pin_gates_j[rel]]
+                nets = lowered.gate_fanin_flat[
+                    lowered.gate_fanin_start[gids] + k
+                ].astype(np.int64)
+                or_flags = pin_level.ops[pin_gates_j[rel]] == OP_OR
+                folds.append((rel, nets, or_flags))
             side_plan.append((pins_j, folds))
 
         # Miss-accumulation rounds: pins in sequence order, chunked so that no
         # round touches the same source net twice.
         occurrence: Dict[int, int] = {}
-        round_of = np.empty(pin_src_arr.size, dtype=np.int64)
-        for idx, src in enumerate(pin_src):
+        round_of = np.empty(pin_src.size, dtype=np.int64)
+        for idx, src in enumerate(pin_src.tolist()):
             round_of[idx] = occurrence.get(src, 0)
             occurrence[src] = round_of[idx] + 1
         rounds = [
@@ -276,19 +232,19 @@ class CompiledCop:
         ]
 
         return _BackwardLevel(
-            level=level,
-            outputs=outputs,
-            pin_src=pin_src_arr,
-            pin_gate_local=np.asarray(pin_gate_local, dtype=np.int64),
-            pin_slot=np.asarray(pin_slot, dtype=np.int64),
-            transparent=transparent_arr,
+            level=pin_level.level,
+            outputs=pin_level.outputs,
+            pin_src=pin_src,
+            pin_gate_local=pin_gate_local,
+            pin_slot=pin_level.slot_base + np.arange(pin_src.size, dtype=np.int64),
+            transparent=transparent,
             side_plan=side_plan,
             rounds=rounds,
         )
 
     def pin_slot_of(self, gate: int, position: int) -> int:
-        """Global pin slot of input ``position`` of ``gate``."""
-        return self._pin_slot[(gate, position)]
+        """Global pin slot of input ``position`` of ``gate`` (shared IR order)."""
+        return self.lowered.pin_slot_of(gate, position)
 
     # ------------------------------------------------------------------ #
     # Forward pass
@@ -354,7 +310,7 @@ class CompiledCop:
 
         for kern in self.forward_kernels:
             n_gates = kern.outputs.size
-            if kern.op == _OP_XOR:
+            if kern.op == OP_XOR:
                 acc = np.zeros((n_rows, n_gates), dtype=float)
                 for gates_j, nets_j in zip(kern.slot_gates, kern.slot_nets):
                     p = probs[:, nets_j]
@@ -365,10 +321,10 @@ class CompiledCop:
                 acc = np.ones((n_rows, n_gates), dtype=float)
                 for gates_j, nets_j in zip(kern.slot_gates, kern.slot_nets):
                     p = probs[:, nets_j]
-                    if kern.op == _OP_OR:
+                    if kern.op == OP_OR:
                         p = 1.0 - p
                     acc[:, gates_j] *= p
-                if kern.op == _OP_OR:
+                if kern.op == OP_OR:
                     value = np.where(kern.invert[None, :], acc, 1.0 - acc)
                 else:
                     value = np.where(kern.invert[None, :], 1.0 - acc, acc)
@@ -434,7 +390,7 @@ class CompiledCop:
         key = tuple(faults)
         plan = self._fault_plans.get(key)
         if plan is None:
-            gates = self.circuit.gates
+            lowered = self.lowered
             nets = np.asarray([f.net for f in faults], dtype=np.int64)
             stuck = np.asarray([f.stuck_value for f in faults], dtype=bool)
             stem = np.asarray([f.is_stem for f in faults], dtype=bool)
@@ -442,8 +398,10 @@ class CompiledCop:
             for fi, fault in enumerate(faults):
                 if fault.is_stem:
                     continue
-                position = gates[fault.gate].inputs.index(fault.net)
-                slots[fi] = self._pin_slot[(fault.gate, position)]
+                position = int(
+                    np.flatnonzero(lowered.gate_inputs(fault.gate) == fault.net)[0]
+                )
+                slots[fi] = lowered.pin_slot_of(fault.gate, position)
             plan = (nets, stuck, stem, slots)
             if len(self._fault_plans) >= 16:
                 self._fault_plans.clear()
@@ -486,16 +444,19 @@ class CompiledCop:
 
 
 def compile_cop(circuit: Circuit) -> CompiledCop:
-    """Compile the COP analysis of ``circuit`` (cached on the instance).
+    """Compile the COP analysis of ``circuit`` (cached).
 
-    Circuits are immutable by convention, so the compiled engine is shared by
-    every analysis over the same circuit object (mirroring
-    :func:`repro.simulation.compiled.compile_circuit`).
+    The underlying lowering comes from :func:`repro.lowered.compile_lowered`
+    — the same shared artifact the logic/fault-simulation engine consumes —
+    and the probability-domain engine is hung off it, so every analysis over
+    the same circuit structure (even over distinct but isomorphic instances)
+    shares one engine.
     """
-    engine = getattr(circuit, "_compiled_cop", None)
-    if engine is None or engine.n_nets != circuit.n_nets:
-        engine = CompiledCop(circuit)
-        circuit._compiled_cop = engine
+    lowered = compile_lowered(circuit)
+    engine = lowered._cop_engine
+    if engine is None:
+        engine = CompiledCop(lowered)
+        lowered._cop_engine = engine
     return engine
 
 

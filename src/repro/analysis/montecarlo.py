@@ -7,8 +7,9 @@ the paper's optimizer calls its estimator once per primary input per sweep, so
 the analytic COP estimator is the default and this one serves for validation,
 for the STAFAN-style comparison and as a drop-in alternative on circuits where
 COP is too inaccurate.  The counting runs on the compiled fault-parallel
-engine (:mod:`repro.simulation.compiled`), which makes dense sampling viable
-on the larger registry circuits.
+engine (:mod:`repro.simulation.compiled`), built from the same shared
+lowered-circuit IR (:mod:`repro.lowered`) as every other engine over the
+circuit, which makes dense sampling viable on the larger registry circuits.
 """
 
 from __future__ import annotations

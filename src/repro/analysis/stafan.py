@@ -8,6 +8,12 @@ recipe: measured controllabilities feed the same backward observability rules
 used by the COP estimator.  Because the counts capture the true (correlated)
 signal statistics, the controllability part of the estimate is unbiased; the
 observability part still uses the independence assumption.
+
+Both halves run on engines derived from the shared lowered-circuit IR
+(:mod:`repro.lowered`): the counting passes through the compiled logic
+simulator and the backward pass through the compiled COP engine
+(bit-identical to the scalar :func:`repro.analysis.observability.observabilities`
+rules), so estimating with STAFAN never re-walks the netlist.
 """
 
 from __future__ import annotations
@@ -20,8 +26,7 @@ from ..circuit.netlist import Circuit
 from ..faults.model import Fault
 from ..patterns.weighted import WeightedPatternGenerator
 from ..simulation.logicsim import LogicSimulator, pack_patterns
-from .detection import _pin_position_table
-from .observability import observabilities
+from .compiled import BatchedCopResult, compile_cop
 
 __all__ = ["StafanDetectionEstimator", "measured_signal_probabilities"]
 
@@ -70,15 +75,9 @@ class StafanDetectionEstimator:
         probs = measured_signal_probabilities(
             circuit, input_probs, n_samples=self.n_samples, seed=self.seed
         )
-        obs = observabilities(circuit, probs)
-        pin_position = _pin_position_table(circuit)
-        result = np.zeros(len(faults), dtype=float)
-        for fi, fault in enumerate(faults):
-            activation = (1.0 - probs[fault.net]) if fault.stuck_value else probs[fault.net]
-            if fault.is_stem:
-                observation = obs.net[fault.net]
-            else:
-                position = pin_position[(fault.gate, fault.net)]
-                observation = obs.pin[(fault.gate, position)]
-            result[fi] = activation * observation
-        return result
+        engine = compile_cop(circuit)
+        net_obs, pin_obs = engine.observabilities_batch(probs[None, :])
+        analysis = BatchedCopResult(
+            probs=probs[None, :], net_obs=net_obs, pin_obs=pin_obs
+        )
+        return engine.detection_probabilities_batch(list(faults), analysis)[0]

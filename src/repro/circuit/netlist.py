@@ -13,6 +13,7 @@ simulators and probability propagation can evaluate them in a single pass.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -208,6 +209,40 @@ class Circuit:
     def depth(self) -> int:
         """Maximum logic level over all nets (0 for a circuit with no gates)."""
         return max(self.levels(), default=0)
+
+    def structural_hash(self) -> str:
+        """Content hash of the network *structure* (net names excluded).
+
+        Two circuits hash equally iff they have the same net count, the same
+        primary input/output net ids and an identical gate list (type, output
+        net, input nets, in order) — isomorphic rebuilds of the same netlist
+        share a hash even when their net names differ.  This is the key of the
+        process-level lowering cache (:func:`repro.lowered.compile_lowered`):
+        engines compiled for one instance are reused by every structurally
+        identical instance.  The digest is deterministic across processes and
+        cached on the instance (circuits are immutable by convention; as a
+        guard against in-place mutation the memo is discarded when the gate
+        count changed, mirroring the compiled-engine caches).
+        """
+        cached = getattr(self, "_structural_hash", None)
+        if cached is not None and cached[0] != len(self.gates):
+            cached = None
+        if cached is None:
+            hasher = hashlib.blake2b(digest_size=20)
+            header = (
+                f"repro-netlist-v1|{self.n_nets}"
+                f"|{','.join(map(str, self.inputs))}"
+                f"|{','.join(map(str, self.outputs))}"
+            )
+            hasher.update(header.encode("ascii"))
+            for gate in self.gates:
+                hasher.update(
+                    f"\n{gate.gate_type.value}:{gate.output}:"
+                    f"{','.join(map(str, gate.inputs))}".encode("ascii")
+                )
+            cached = (len(self.gates), hasher.hexdigest())
+            self._structural_hash = cached
+        return cached[1]
 
     def transitive_fanout_gates(self, net: int) -> List[int]:
         """Gate indices in the transitive fan-out cone of ``net``, in

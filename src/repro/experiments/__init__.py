@@ -4,10 +4,12 @@ from .suite import (
     CONFIDENCE,
     ExperimentCircuit,
     clear_caches,
+    experiment_session,
     get_experiment_circuit,
     load_hard_suite,
     load_suite,
     optimized_result,
+    simulate_coverage,
 )
 from .tables import format_count, format_percent, format_seconds, format_table
 from .table1 import Table1Row, format_table1, run_table1
@@ -29,10 +31,12 @@ __all__ = [
     "CONFIDENCE",
     "ExperimentCircuit",
     "clear_caches",
+    "experiment_session",
     "get_experiment_circuit",
     "load_suite",
     "load_hard_suite",
     "optimized_result",
+    "simulate_coverage",
     "format_table",
     "format_count",
     "format_percent",

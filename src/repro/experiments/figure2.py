@@ -16,8 +16,7 @@ from typing import List
 
 import numpy as np
 
-from ..faultsim.coverage import random_pattern_coverage
-from .suite import get_experiment_circuit, optimized_result
+from .suite import get_experiment_circuit, optimized_result, simulate_coverage
 from ..circuits.registry import paper_suite
 
 __all__ = ["Figure2Data", "run_figure2", "format_figure2"]
@@ -70,16 +69,10 @@ def run_figure2(
     experiment = get_experiment_circuit(entry)
     points = _sample_points(n_patterns, n_points)
 
-    conventional = random_pattern_coverage(
-        experiment.circuit, n_patterns, weights=None, faults=experiment.faults, seed=seed
-    )
+    conventional = simulate_coverage(experiment, n_patterns, weights=None, seed=seed)
     optimization = optimized_result(experiment)
-    optimized = random_pattern_coverage(
-        experiment.circuit,
-        n_patterns,
-        weights=optimization.quantized_weights,
-        faults=experiment.faults,
-        seed=seed,
+    optimized = simulate_coverage(
+        experiment, n_patterns, weights=optimization.quantized_weights, seed=seed
     )
     return Figure2Data(
         circuit_name=experiment.circuit.name,

@@ -2,8 +2,9 @@
 
 The paper estimates, with PROTEST, the number of equiprobable random patterns
 needed to detect every stuck-at fault with high confidence.  The reproduction
-estimates the same quantity with the COP-based detection-probability estimator
-and the NORMALIZE test-length computation on the substituted circuits.  The
+estimates the same quantity through the shared pipeline session (the batched
+COP detection-probability estimator — bit-identical to the scalar reference —
+and the NORMALIZE test-length computation) on the substituted circuits.  The
 shape to reproduce: the starred circuits (S1, S2, C2670, C7552) need orders of
 magnitude more patterns than the rest.
 """
@@ -13,9 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from ..analysis.detection import CopDetectionEstimator
-from ..core.testlength import required_test_length
-from .suite import CONFIDENCE, ExperimentCircuit, load_suite
+from .suite import CONFIDENCE, ExperimentCircuit, _ensure_registered, load_suite
 from .tables import format_count, format_table
 
 __all__ = ["Table1Row", "run_table1", "format_table1"]
@@ -35,11 +34,8 @@ class Table1Row:
 
 
 def _conventional_length(experiment: ExperimentCircuit, confidence: float) -> int:
-    estimator = CopDetectionEstimator()
-    probs = estimator.detection_probabilities(
-        experiment.circuit, experiment.faults, [0.5] * experiment.circuit.n_inputs
-    )
-    return required_test_length(probs, confidence).test_length
+    session = _ensure_registered(experiment)
+    return session.required_length(experiment.key, confidence=confidence)
 
 
 def run_table1(confidence: float = CONFIDENCE) -> List[Table1Row]:

@@ -12,8 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from ..faultsim.coverage import random_pattern_coverage
-from .suite import load_hard_suite
+from .suite import load_hard_suite, simulate_coverage
 from .tables import format_percent, format_table
 
 __all__ = ["Table2Row", "run_table2", "format_table2"]
@@ -35,12 +34,8 @@ def run_table2(seed: int = 1987) -> List[Table2Row]:
     """Fault-simulate conventional random patterns on the starred circuits."""
     rows: List[Table2Row] = []
     for experiment in load_hard_suite():
-        coverage = random_pattern_coverage(
-            experiment.circuit,
-            experiment.pattern_budget,
-            weights=None,
-            faults=experiment.faults,
-            seed=seed,
+        coverage = simulate_coverage(
+            experiment, experiment.pattern_budget, weights=None, seed=seed
         )
         rows.append(
             Table2Row(

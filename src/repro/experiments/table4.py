@@ -12,8 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from ..faultsim.coverage import random_pattern_coverage
-from .suite import load_hard_suite, optimized_result
+from .suite import load_hard_suite, optimized_result, simulate_coverage
 from .tables import format_percent, format_table
 
 __all__ = ["Table4Row", "run_table4", "format_table4"]
@@ -36,11 +35,10 @@ def run_table4(seed: int = 1987) -> List[Table4Row]:
     rows: List[Table4Row] = []
     for experiment in load_hard_suite():
         optimization = optimized_result(experiment)
-        coverage = random_pattern_coverage(
-            experiment.circuit,
+        coverage = simulate_coverage(
+            experiment,
             experiment.pattern_budget,
             weights=optimization.quantized_weights,
-            faults=experiment.faults,
             seed=seed,
         )
         rows.append(

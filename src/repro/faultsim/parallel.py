@@ -3,7 +3,10 @@
 This is the workhorse behind Tables 2 and 4 and Figure 2 of the paper: given a
 stream of (weighted) random patterns, determine which stuck-at faults are
 detected and after how many patterns.  The simulator runs on the compiled
-structure-of-arrays engine (:mod:`repro.simulation.compiled`):
+structure-of-arrays engine (:mod:`repro.simulation.compiled`), which itself
+consumes the shared lowered-circuit IR (:mod:`repro.lowered`) — creating a
+simulator never re-walks the netlist; it picks up the cached lowering (level
+kernels, fan-out cone bitsets) every other engine over the circuit uses:
 
 * the fault-free circuit is simulated bit-parallel (64 patterns per word)
   through vectorized per-level kernels,
@@ -125,7 +128,10 @@ class ParallelFaultSimulator:
             list(faults) if faults is not None else collapsed_fault_list(circuit)
         )
         self.fault_group = fault_group
+        # One compile per circuit structure process-wide: the engine (and the
+        # lowering underneath it) comes from the content-addressed cache.
         self._engine = compile_circuit(circuit)
+        self.lowered = self._engine.lowered
 
     def _group_size(self, n_words: int) -> int:
         if self.fault_group is not None:

@@ -63,9 +63,11 @@ def detecting_pattern_count(
     """Number of patterns in ``patterns`` that detect ``fault``.
 
     By default the count is computed on the compiled bit-parallel engine
-    (identical result, orders of magnitude faster).  Pass
-    ``use_compiled=False`` to force the scalar reference path, e.g. when
-    differential-testing the compiled engine itself.
+    (identical result, orders of magnitude faster); the engine is built from
+    the circuit's shared lowering (:mod:`repro.lowered`), so the call is
+    cheap even when issued per fault.  Pass ``use_compiled=False`` to force
+    the scalar reference path, e.g. when differential-testing the compiled
+    engine itself.
     """
     if use_compiled:
         import numpy as np

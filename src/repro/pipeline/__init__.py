@@ -1,0 +1,11 @@
+"""Pipeline façade running analyze → optimize → quantize → fault-simulate.
+
+:class:`Session` ties the subsystems together for one or many circuits with
+the lowered-circuit IR (:mod:`repro.lowered`) compiled exactly once per
+circuit and reused across all stages; :class:`PipelineReport` is the per-
+circuit outcome.
+"""
+
+from .session import PipelineReport, Session
+
+__all__ = ["Session", "PipelineReport"]

@@ -1,0 +1,419 @@
+"""The pipeline façade: analyze → optimize → quantize → fault-simulate.
+
+The paper's workflow is a pipeline — testability analysis (COP), input
+probability optimization, quantization to a realisable weight grid, and
+fault-simulated validation.  :class:`Session` runs that pipeline for one or
+many circuits with the expensive intermediates shared across stages:
+
+* the **lowered-circuit IR** (:mod:`repro.lowered`) is compiled exactly once
+  per circuit and consumed by every stage (the analysis engine, the
+  optimizer's estimator and the fault simulator all hang off the same
+  artifact); :meth:`Session.lowerings` / :attr:`Session.total_lowerings`
+  expose the compile counter so callers (and the CI smoke check) can assert
+  the reuse,
+* the **fault list** (collapsed, redundancy-filtered by default) is built
+  once per circuit,
+* the **baseline analysis** and the **optimization result** are cached, so
+  e.g. test-length, coverage and CPU-time reporting all use the same run —
+  exactly as one PROTEST run feeds all of the paper's optimized-test numbers.
+
+Typical use::
+
+    from repro import Session, s1_comparator
+
+    session = Session(confidence=0.999)
+    session.add(s1_comparator(width=12), key="s1")
+    report = session.run("s1", n_patterns=4_000)
+    print(report.summary())
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..analysis.compiled import BatchedCopEstimator
+from ..analysis.detection import DetectionProbabilityEstimator
+from ..analysis.redundancy import remove_redundant
+from ..circuit.netlist import Circuit
+from ..core.optimizer import OptimizationResult, WeightOptimizer
+from ..core.quantize import quantize_weights
+from ..core.testlength import required_test_length
+from ..faults.collapse import collapsed_fault_list
+from ..faults.model import Fault
+from ..faultsim.coverage import CoverageExperiment, random_pattern_coverage
+from ..lowered import LoweredCircuit, compile_count, compile_lowered
+
+__all__ = ["Session", "PipelineReport"]
+
+
+@dataclass
+class PipelineReport:
+    """Outcome of one full pipeline run for one circuit.
+
+    Attributes:
+        key: session key of the circuit.
+        circuit_name: name of the circuit under test.
+        n_gates / n_inputs / n_faults: workload size.
+        conventional_length: required test length of the equiprobable test.
+        optimized_length: required test length after optimization.
+        weights / quantized_weights: optimized input probabilities (raw and
+            snapped to the realisable grid).
+        n_patterns: pattern budget of the fault-simulated validation.
+        conventional_coverage / optimized_coverage: fault coverage (percent)
+            of ``n_patterns`` conventional / optimized random patterns.
+        optimization: the underlying (cached) optimization result.
+        lowerings: lowering compilations attributed to this circuit — 1 for a
+            fresh circuit, 0 when the content-addressed cache already held
+            the structure.
+        seconds: wall-clock time of this ``run`` call.
+    """
+
+    key: str
+    circuit_name: str
+    n_gates: int
+    n_inputs: int
+    n_faults: int
+    conventional_length: int
+    optimized_length: int
+    weights: np.ndarray
+    quantized_weights: np.ndarray
+    n_patterns: int
+    conventional_coverage: float
+    optimized_coverage: float
+    optimization: OptimizationResult
+    lowerings: int
+    seconds: float
+
+    @property
+    def improvement_factor(self) -> float:
+        """How many times shorter the optimized test is (≥ 1 when it helps)."""
+        if self.optimized_length <= 0:
+            return float("inf")
+        return self.conventional_length / self.optimized_length
+
+    def summary(self) -> str:
+        """One-paragraph human-readable report."""
+        return (
+            f"{self.circuit_name}: conventional N ≈ {self.conventional_length:,}, "
+            f"optimized N ≈ {self.optimized_length:,} "
+            f"(x{self.improvement_factor:,.0f}); with {self.n_patterns:,} patterns "
+            f"coverage {self.conventional_coverage:.1f}% → "
+            f"{self.optimized_coverage:.1f}% "
+            f"({self.lowerings} lowering{'s' if self.lowerings != 1 else ''})"
+        )
+
+
+@dataclass
+class _Entry:
+    """Per-circuit pipeline state tracked by a :class:`Session`."""
+
+    key: str
+    circuit: Circuit
+    faults: List[Fault]
+    lowered: Optional[LoweredCircuit] = None
+    lowerings: int = 0
+    baseline_probs: Optional[np.ndarray] = None
+    optimization: Optional[OptimizationResult] = None
+    coverage_cache: Dict[Tuple, CoverageExperiment] = field(default_factory=dict)
+
+
+class Session:
+    """Run the paper's pipeline for one or many circuits, compiling once.
+
+    Args:
+        confidence: required probability of detecting every modelled fault
+            (shared by the test-length computations and the optimizer).
+        estimator: detection-probability estimator used by the analysis and
+            optimization stages; defaults to the batched compiled COP engine
+            (:class:`~repro.analysis.compiled.BatchedCopEstimator`).
+        max_sweeps: coordinate-descent sweep budget of the optimizer.
+        alpha: optimizer convergence threshold (relative improvement).
+        bounds: allowed interval for each input probability.
+        seed: RNG seed for the fault-simulated validation patterns.
+        quantization_step: grid the optimized weights are snapped to.
+        drop_redundant: remove faults proven/estimated undetectable from the
+            default fault list (the paper's coverage convention).  Explicit
+            ``faults`` passed to :meth:`add` are used as-is.
+    """
+
+    def __init__(
+        self,
+        confidence: float = 0.999,
+        estimator: Optional[DetectionProbabilityEstimator] = None,
+        max_sweeps: int = 8,
+        alpha: float = 0.01,
+        bounds: Tuple[float, float] = (0.05, 0.95),
+        seed: int = 1987,
+        quantization_step: float = 0.05,
+        drop_redundant: bool = True,
+    ):
+        if not 0.0 < confidence < 1.0:
+            raise ValueError("confidence must lie strictly between 0 and 1")
+        self.confidence = confidence
+        self.estimator: DetectionProbabilityEstimator = (
+            estimator if estimator is not None else BatchedCopEstimator()
+        )
+        self.max_sweeps = max_sweeps
+        self.alpha = alpha
+        self.bounds = bounds
+        self.seed = seed
+        self.quantization_step = quantization_step
+        self.drop_redundant = drop_redundant
+        self._entries: Dict[str, _Entry] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def add(
+        self,
+        circuit: Circuit,
+        key: Optional[str] = None,
+        faults: Optional[Sequence[Fault]] = None,
+    ) -> str:
+        """Register a circuit and return its session key.
+
+        Re-adding the same circuit instance under the same key is a no-op;
+        registering a *different* circuit under an existing key is an error.
+        """
+        key = key if key is not None else circuit.name
+        existing = self._entries.get(key)
+        if existing is not None:
+            if existing.circuit is circuit:
+                return key
+            raise ValueError(f"session already holds a circuit under key {key!r}")
+        if faults is not None:
+            fault_list = list(faults)
+        else:
+            fault_list = collapsed_fault_list(circuit)
+            if self.drop_redundant:
+                fault_list = remove_redundant(circuit, fault_list)
+        self._entries[key] = _Entry(key=key, circuit=circuit, faults=fault_list)
+        return key
+
+    def has(self, key: str) -> bool:
+        return key in self._entries
+
+    def keys(self) -> List[str]:
+        """Registered circuit keys, in registration order."""
+        return list(self._entries)
+
+    def _entry(self, key: str) -> _Entry:
+        try:
+            return self._entries[key]
+        except KeyError as exc:
+            raise KeyError(
+                f"no circuit registered under key {key!r}; call Session.add first"
+            ) from exc
+
+    def circuit(self, key: str) -> Circuit:
+        return self._entry(key).circuit
+
+    def faults(self, key: str) -> List[Fault]:
+        return self._entry(key).faults
+
+    # ------------------------------------------------------------------ #
+    # Stage 0: lowering (compiled once, shared by every later stage)
+    # ------------------------------------------------------------------ #
+    def lowered(self, key: str) -> LoweredCircuit:
+        """The circuit's lowered IR, compiling it on first use.
+
+        The compile goes through the content-addressed process cache, so the
+        per-circuit :meth:`lowerings` count is 1 for a structure first seen
+        here and 0 when another instance already populated the cache.
+        """
+        entry = self._entry(key)
+        if entry.lowered is None:
+            before = compile_count()
+            entry.lowered = compile_lowered(entry.circuit)
+            entry.lowerings += compile_count() - before
+        return entry.lowered
+
+    def lowerings(self, key: str) -> int:
+        """Lowering compilations performed on behalf of ``key`` so far."""
+        return self._entry(key).lowerings
+
+    @property
+    def total_lowerings(self) -> int:
+        """Lowering compilations performed across all registered circuits.
+
+        After any number of stages/runs this is at most the number of
+        distinct circuit structures in the session — the compile-reuse
+        invariant the CI smoke check asserts.
+        """
+        return sum(entry.lowerings for entry in self._entries.values())
+
+    # ------------------------------------------------------------------ #
+    # Stage 1: analysis
+    # ------------------------------------------------------------------ #
+    def detection_probabilities(
+        self, key: str, weights: Optional[Sequence[float]] = None
+    ) -> np.ndarray:
+        """Detection probability of every session fault under ``weights``.
+
+        ``weights=None`` means the conventional equiprobable test (all 0.5);
+        that baseline analysis is cached per circuit.
+        """
+        entry = self._entry(key)
+        self.lowered(key)
+        if weights is None:
+            if entry.baseline_probs is None:
+                entry.baseline_probs = self.estimator.detection_probabilities(
+                    entry.circuit, entry.faults, [0.5] * entry.circuit.n_inputs
+                )
+            return entry.baseline_probs
+        return self.estimator.detection_probabilities(
+            entry.circuit, entry.faults, list(weights)
+        )
+
+    def required_length(
+        self,
+        key: str,
+        weights: Optional[Sequence[float]] = None,
+        confidence: Optional[float] = None,
+    ) -> int:
+        """Required random-test length (NORMALIZE) under ``weights``."""
+        probs = self.detection_probabilities(key, weights)
+        target = self.confidence if confidence is None else confidence
+        return required_test_length(probs, target).test_length
+
+    # ------------------------------------------------------------------ #
+    # Stage 2: optimization
+    # ------------------------------------------------------------------ #
+    def optimize(
+        self,
+        key: str,
+        force: bool = False,
+        estimator: Optional[DetectionProbabilityEstimator] = None,
+        max_sweeps: Optional[int] = None,
+    ) -> OptimizationResult:
+        """Optimized input probabilities for a registered circuit (cached).
+
+        The cached result is shared by every stage and report — exactly as
+        one PROTEST run feeds all of the paper's optimized-test numbers.
+
+        Args:
+            key: session key of the circuit.
+            force: re-run even when a cached result exists.
+            estimator: optional estimator override; results computed with an
+                override are never cached (the Table 5 scalar-vs-batched
+                benchmark relies on this).
+            max_sweeps: optional sweep-budget override for this run.
+        """
+        entry = self._entry(key)
+        if estimator is None and not force and entry.optimization is not None:
+            return entry.optimization
+        self.lowered(key)
+        optimizer = WeightOptimizer(
+            entry.circuit,
+            faults=entry.faults,
+            estimator=estimator if estimator is not None else self.estimator,
+            confidence=self.confidence,
+            bounds=self.bounds,
+            alpha=self.alpha,
+            max_sweeps=max_sweeps if max_sweeps is not None else self.max_sweeps,
+        )
+        result = optimizer.optimize(quantization_step=self.quantization_step)
+        if estimator is None:
+            entry.optimization = result
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Stage 3: quantization
+    # ------------------------------------------------------------------ #
+    def quantized_weights(self, key: str, step: Optional[float] = None) -> np.ndarray:
+        """The optimized weights snapped to the realisable grid.
+
+        With the session's default step this is the (cached) optimization
+        result's grid; an explicit ``step`` re-quantizes the raw weights.
+        """
+        result = self.optimize(key)
+        if step is None or step == self.quantization_step:
+            return result.quantized_weights
+        return quantize_weights(result.weights, step=step, bounds=self.bounds)
+
+    # ------------------------------------------------------------------ #
+    # Stage 4: fault-simulated validation
+    # ------------------------------------------------------------------ #
+    def fault_simulate(
+        self,
+        key: str,
+        n_patterns: int,
+        weights: Optional[Sequence[float]] = None,
+        seed: Optional[int] = None,
+        batch_size: int = 2048,
+        fault_group: Optional[int] = None,
+    ) -> CoverageExperiment:
+        """Fault-simulate ``n_patterns`` (weighted) random patterns (cached).
+
+        ``weights=None`` is the conventional equiprobable test.  Results are
+        cached per ``(n_patterns, weights, seed)`` so a report regenerated
+        twice does not repeat the simulation; the underlying compiled engine
+        is shared with every other stage through the lowered IR.
+        """
+        entry = self._entry(key)
+        self.lowered(key)
+        seed = self.seed if seed is None else seed
+        weight_key = None if weights is None else tuple(float(w) for w in weights)
+        cache_key = (int(n_patterns), weight_key, int(seed), int(batch_size), fault_group)
+        cached = entry.coverage_cache.get(cache_key)
+        if cached is None:
+            cached = random_pattern_coverage(
+                entry.circuit,
+                n_patterns,
+                weights=weights,
+                faults=entry.faults,
+                seed=seed,
+                batch_size=batch_size,
+                fault_group=fault_group,
+            )
+            entry.coverage_cache[cache_key] = cached
+        return cached
+
+    # ------------------------------------------------------------------ #
+    # The full pipeline
+    # ------------------------------------------------------------------ #
+    def run(
+        self, key: Optional[str] = None, n_patterns: int = 4_000
+    ) -> Union[PipelineReport, List[PipelineReport]]:
+        """Run analyze → optimize → quantize → fault-simulate.
+
+        Args:
+            key: a single registered circuit, or ``None`` to run the pipeline
+                over every registered circuit (returning a list of reports).
+            n_patterns: pattern budget of the fault-simulated validation.
+
+        The lowered IR is compiled at most once per circuit no matter how
+        many stages or repeated runs consume it.
+        """
+        if key is None:
+            return [self.run(k, n_patterns=n_patterns) for k in self.keys()]
+        entry = self._entry(key)
+        start = time.perf_counter()
+        self.lowered(key)
+        conventional_length = self.required_length(key)
+        optimization = self.optimize(key)
+        quantized = self.quantized_weights(key)
+        conventional = self.fault_simulate(key, n_patterns)
+        optimized = self.fault_simulate(key, n_patterns, weights=quantized)
+        elapsed = time.perf_counter() - start
+        return PipelineReport(
+            key=key,
+            circuit_name=entry.circuit.name,
+            n_gates=entry.circuit.n_gates,
+            n_inputs=entry.circuit.n_inputs,
+            n_faults=len(entry.faults),
+            conventional_length=conventional_length,
+            optimized_length=optimization.test_length,
+            weights=optimization.weights,
+            quantized_weights=quantized,
+            n_patterns=n_patterns,
+            conventional_coverage=100.0 * conventional.fault_coverage,
+            optimized_coverage=100.0 * optimized.fault_coverage,
+            optimization=optimization,
+            lowerings=entry.lowerings,
+            seconds=elapsed,
+        )

@@ -1,17 +1,22 @@
 """Compiled structure-of-arrays (SoA) simulation engine.
 
-:class:`CompiledCircuit` lowers a :class:`~repro.circuit.netlist.Circuit` into
-flat numpy arrays once so the hot loops of true-value simulation and fault
-simulation run as a handful of vectorized kernels per logic level instead of a
-Python loop (with dict lookups) per gate:
+:class:`CompiledCircuit` is the ``uint64`` pattern-word interpretation of the
+shared lowered-circuit IR (:mod:`repro.lowered`): the levelized SoA arrays —
+per-level gate groups, ragged fan-in segments, fan-out cone bitsets — are
+built once by :func:`repro.lowered.compile_lowered` (content-addressed,
+cached process-wide) and this engine only derives the word-domain kernels
+from them, so the hot loops of true-value simulation and fault simulation run
+as a handful of vectorized kernels per logic level instead of a Python loop
+(with dict lookups) per gate:
 
 * gates are grouped into *level kernels* keyed by ``(level, base op)`` where
   the base ops are AND, OR and XOR -- NAND/NOR/XNOR/NOT fold into a per-gate
   inversion mask and BUF is a 1-input AND.  Each kernel evaluates all of its
   gates with one ``gather -> ufunc.reduceat -> scatter`` sequence over
   64-pattern ``uint64`` words,
-* transitive fan-out cone arrays are precomputed (and cached) per fault site,
-  so fault simulation only re-evaluates the gates a fault can influence,
+* transitive fan-out cone arrays are precomputed (and cached on the lowered
+  IR) per fault site, so fault simulation only re-evaluates the gates a fault
+  can influence,
 * faults are simulated **fault-parallel x pattern-parallel**: a group of
   faults shares one wide value matrix in which every fault owns a contiguous
   block of pattern words.  Fault effects are injected by forcing rows (stem
@@ -30,9 +35,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..circuit.gates import INVERTING_GATES, GateType
 from ..circuit.netlist import Circuit
 from ..faults.model import Fault
+from ..lowered import (
+    OP_AND,
+    OP_OR,
+    OP_XOR,
+    LoweredCircuit,
+    compile_lowered,
+    ragged_positions,
+)
 
 __all__ = [
     "CompiledCircuit",
@@ -46,27 +58,10 @@ WORD_BITS = 64
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
 _ZERO = np.uint64(0)
 
-#: Base boolean operations the kernels are built from.  Every supported gate
-#: type maps to one of these plus an optional output inversion.
-_OP_AND = 0
-_OP_OR = 1
-_OP_XOR = 2
-
-_GATE_OP = {
-    GateType.AND: _OP_AND,
-    GateType.NAND: _OP_AND,
-    GateType.BUF: _OP_AND,  # 1-input AND
-    GateType.NOT: _OP_AND,  # 1-input AND + inversion
-    GateType.OR: _OP_OR,
-    GateType.NOR: _OP_OR,
-    GateType.XOR: _OP_XOR,
-    GateType.XNOR: _OP_XOR,
-}
-
 _OP_UFUNC = {
-    _OP_AND: np.bitwise_and,
-    _OP_OR: np.bitwise_or,
-    _OP_XOR: np.bitwise_xor,
+    OP_AND: np.bitwise_and,
+    OP_OR: np.bitwise_or,
+    OP_XOR: np.bitwise_xor,
 }
 
 
@@ -74,8 +69,9 @@ _OP_UFUNC = {
 class LevelKernel:
     """All gates of one logic level sharing one base boolean operation.
 
-    The fan-in net ids of the kernel's gates are concatenated into
-    :attr:`fanin_flat`; gate ``i`` owns the slice
+    A word-domain view of one :class:`repro.lowered.LevelGroup`: the fan-in
+    net ids of the kernel's gates are concatenated into :attr:`fanin_flat`;
+    gate ``i`` owns the slice
     ``fanin_flat[seg_starts[i] : seg_starts[i] + seg_lengths[i]]``.
     Evaluation gathers the operand rows, reduces each segment with the base
     ufunc and xors the inversion mask.
@@ -101,21 +97,6 @@ class LevelKernel:
     @property
     def n_gates(self) -> int:
         return int(self.gate_ids.size)
-
-
-def _ragged_positions(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
-    """Concatenated index ranges ``[starts[i], starts[i]+lengths[i])``.
-
-    Vectorized replacement for ``np.concatenate([np.arange(s, s+l) ...])``.
-    All segments must be non-empty.
-    """
-    total = int(lengths.sum())
-    idx = np.ones(total, dtype=np.int64)
-    ends = np.cumsum(lengths)
-    idx[0] = starts[0]
-    if starts.size > 1:
-        idx[ends[:-1]] = starts[1:] - starts[:-1] - lengths[:-1] + 1
-    return np.cumsum(idx)
 
 
 def popcount_words(words: np.ndarray) -> np.ndarray:
@@ -149,112 +130,46 @@ def first_detection_indices(detection: np.ndarray) -> np.ndarray:
 
 
 class CompiledCircuit:
-    """Array-compiled form of a :class:`~repro.circuit.netlist.Circuit`.
+    """Word-domain engine over the shared :class:`LoweredCircuit` IR.
 
-    Build via :func:`compile_circuit` (cached per circuit instance) or
+    Build via :func:`compile_circuit` (cached on the lowered artifact, which
+    is itself content-addressed per circuit structure) or
     :meth:`from_circuit`.
     """
 
-    def __init__(
-        self,
-        circuit: Circuit,
-        kernels: List[LevelKernel],
-        inputs: np.ndarray,
-        outputs: np.ndarray,
-        const0_nets: np.ndarray,
-        const1_nets: np.ndarray,
-        gate_output: np.ndarray,
-        gate_kernel: np.ndarray,
-        net_writer_gate: np.ndarray,
-        net_level: np.ndarray,
-    ):
-        self.circuit = circuit
-        self.kernels = kernels
-        self.inputs = inputs
-        self.outputs = outputs
-        self.const0_nets = const0_nets
-        self.const1_nets = const1_nets
-        self.gate_output = gate_output
-        self.gate_kernel = gate_kernel
-        self.net_writer_gate = net_writer_gate
-        self.net_level = net_level
-        self.n_nets = circuit.n_nets
-        self.n_gates = circuit.n_gates
-        self._stem_cones: Dict[int, np.ndarray] = {}
-        self._gate_cones: Dict[int, np.ndarray] = {}
-        self._pin_offsets_cache: Dict[Tuple[int, int], np.ndarray] = {}
-        self._reach: Optional[np.ndarray] = None
+    def __init__(self, lowered: LoweredCircuit):
+        self.lowered = lowered
+        self.circuit = lowered.circuit
+        self.kernels = [
+            LevelKernel(
+                level=group.level,
+                op=group.op,
+                gate_ids=group.gate_ids,
+                outputs=group.outputs,
+                fanin_flat=group.fanin_flat,
+                seg_starts=group.seg_starts,
+                seg_lengths=group.seg_lengths,
+                invert=np.where(group.invert, _ALL_ONES, _ZERO),
+            )
+            for group in lowered.groups
+        ]
+        self.inputs = lowered.inputs
+        self.outputs = lowered.outputs
+        self.const0_nets = lowered.const0_nets
+        self.const1_nets = lowered.const1_nets
+        self.gate_output = lowered.gate_output
+        self.gate_kernel = lowered.gate_group
+        self.net_writer_gate = lowered.net_writer_gate
+        self.net_level = lowered.net_level
+        self.n_nets = lowered.n_nets
+        self.n_gates = lowered.n_gates
 
     # ------------------------------------------------------------------ #
     # Compilation
     # ------------------------------------------------------------------ #
     @classmethod
     def from_circuit(cls, circuit: Circuit) -> "CompiledCircuit":
-        n_nets = circuit.n_nets
-        n_gates = circuit.n_gates
-        levels = circuit.levels()
-        gate_output = np.full(n_gates, -1, dtype=np.int32)
-        net_writer_gate = np.full(n_nets, -1, dtype=np.int32)
-        const0: List[int] = []
-        const1: List[int] = []
-        groups: Dict[Tuple[int, int], List[int]] = {}
-        for gi, gate in enumerate(circuit.gates):
-            gate_output[gi] = gate.output
-            net_writer_gate[gate.output] = gi
-            if gate.gate_type is GateType.CONST0:
-                const0.append(gate.output)
-                continue
-            if gate.gate_type is GateType.CONST1:
-                const1.append(gate.output)
-                continue
-            key = (levels[gate.output], _GATE_OP[gate.gate_type])
-            groups.setdefault(key, []).append(gi)
-
-        kernels: List[LevelKernel] = []
-        gate_kernel = np.full(n_gates, -1, dtype=np.int32)
-        for level, op in sorted(groups):
-            gids = sorted(groups[(level, op)])
-            outputs = np.empty(len(gids), dtype=np.int32)
-            seg_lengths = np.empty(len(gids), dtype=np.int64)
-            fanin_parts: List[Tuple[int, ...]] = []
-            invert = np.empty(len(gids), dtype=np.uint64)
-            for i, gi in enumerate(gids):
-                gate = circuit.gates[gi]
-                outputs[i] = gate.output
-                seg_lengths[i] = len(gate.inputs)
-                fanin_parts.append(gate.inputs)
-                invert[i] = _ALL_ONES if gate.gate_type in INVERTING_GATES else _ZERO
-            seg_starts = np.zeros(len(gids), dtype=np.int64)
-            np.cumsum(seg_lengths[:-1], out=seg_starts[1:])
-            fanin_flat = np.asarray(
-                [net for part in fanin_parts for net in part], dtype=np.int32
-            )
-            gate_kernel[gids] = len(kernels)
-            kernels.append(
-                LevelKernel(
-                    level=level,
-                    op=op,
-                    gate_ids=np.asarray(gids, dtype=np.int32),
-                    outputs=outputs,
-                    fanin_flat=fanin_flat,
-                    seg_starts=seg_starts,
-                    seg_lengths=seg_lengths,
-                    invert=invert,
-                )
-            )
-
-        return cls(
-            circuit=circuit,
-            kernels=kernels,
-            inputs=np.asarray(circuit.inputs, dtype=np.int64),
-            outputs=np.asarray(circuit.outputs, dtype=np.int64),
-            const0_nets=np.asarray(const0, dtype=np.int64),
-            const1_nets=np.asarray(const1, dtype=np.int64),
-            gate_output=gate_output,
-            gate_kernel=gate_kernel,
-            net_writer_gate=net_writer_gate,
-            net_level=np.asarray(levels, dtype=np.int32),
-        )
+        return cls(compile_lowered(circuit))
 
     # ------------------------------------------------------------------ #
     # True-value simulation
@@ -290,73 +205,15 @@ class CompiledCircuit:
         return values
 
     # ------------------------------------------------------------------ #
-    # Fan-out cones
+    # Fan-out cones (delegated to the shared lowering, caches included)
     # ------------------------------------------------------------------ #
-    def _reach_bitsets(self) -> np.ndarray:
-        """Per-net transitive fan-out gate sets as ``uint64`` bitsets.
-
-        Bit ``g`` of row ``net`` (little-endian across words) is 1 iff gate
-        ``g`` lies in the transitive fan-out cone of ``net``.  Built once with
-        a reverse-topological sweep: every reader gate contributes itself plus
-        the (already complete) cone of its output net.
-        """
-        if self._reach is None:
-            n_bit_words = (self.n_gates + WORD_BITS - 1) // WORD_BITS
-            reach = np.zeros((self.n_nets, max(n_bit_words, 1)), dtype=np.uint64)
-            gates = self.circuit.gates
-            for gi in range(self.n_gates - 1, -1, -1):
-                gate = gates[gi]
-                bit_word = gi >> 6
-                bit = np.uint64(1) << np.uint64(gi & 63)
-                out_row = reach[gate.output]
-                for src in set(gate.inputs):
-                    row = reach[src]
-                    row |= out_row
-                    row[bit_word] |= bit
-            self._reach = reach
-        return self._reach
-
     def cone_gates(self, net: int) -> np.ndarray:
-        """Transitive fan-out gate indices of ``net`` (ascending = topological).
-
-        Cached per net; this is the set of gates that must be re-evaluated
-        when a stem fault is injected at ``net``.
-        """
-        cone = self._stem_cones.get(net)
-        if cone is None:
-            bits = np.unpackbits(
-                self._reach_bitsets()[net].view(np.uint8), bitorder="little"
-            )[: self.n_gates]
-            cone = np.flatnonzero(bits).astype(np.int32)
-            self._stem_cones[net] = cone
-        return cone
+        """Transitive fan-out gate indices of ``net`` (ascending = topological)."""
+        return self.lowered.cone_gates(net)
 
     def fault_cone(self, fault: Fault) -> np.ndarray:
         """Gate indices to re-evaluate for ``fault`` (ascending order)."""
-        if fault.is_stem:
-            return self.cone_gates(fault.net)
-        cone = self._gate_cones.get(fault.gate)
-        if cone is None:
-            downstream = self.cone_gates(int(self.gate_output[fault.gate]))
-            cone = np.union1d(
-                np.asarray([fault.gate], dtype=np.int32), downstream
-            ).astype(np.int32)
-            self._gate_cones[fault.gate] = cone
-        return cone
-
-    def _pin_offsets(self, gate: int, net: int) -> np.ndarray:
-        """Offsets (within the gate's fan-in segment) of pins reading ``net``."""
-        key = (gate, net)
-        rel = self._pin_offsets_cache.get(key)
-        if rel is None:
-            kern = self.kernels[self.gate_kernel[gate]]
-            pos = int(np.searchsorted(kern.gate_ids, gate))
-            start = int(kern.seg_starts[pos])
-            length = int(kern.seg_lengths[pos])
-            segment = kern.fanin_flat[start : start + length]
-            rel = np.flatnonzero(segment == net)
-            self._pin_offsets_cache[key] = rel
-        return rel
+        return self.lowered.fault_cone(fault)
 
     # ------------------------------------------------------------------ #
     # Fault-parallel x pattern-parallel detection
@@ -411,7 +268,7 @@ class CompiledCircuit:
                     ).append((fault.net, cols[fi], stuck[fi], writer))
             else:
                 kernel_idx = int(self.gate_kernel[fault.gate])
-                rel = self._pin_offsets(fault.gate, fault.net)
+                rel = self.lowered.pin_offsets(fault.gate, fault.net)
                 branch_inject.setdefault(kernel_idx, []).append(
                     (fault.gate, rel, cols[fi], stuck[fi])
                 )
@@ -429,7 +286,7 @@ class CompiledCircuit:
             else:
                 starts = kern.seg_starts[selected]
                 lengths = kern.seg_lengths[selected]
-                fanin = kern.fanin_flat[_ragged_positions(starts, lengths)]
+                fanin = kern.fanin_flat[ragged_positions(starts, lengths)]
                 offsets = np.zeros(starts.size, dtype=np.int64)
                 np.cumsum(lengths[:-1], out=offsets[1:])
                 outputs = kern.outputs[selected]
@@ -465,14 +322,17 @@ class CompiledCircuit:
 
 
 def compile_circuit(circuit: Circuit) -> CompiledCircuit:
-    """Compile ``circuit`` (cached on the circuit instance).
+    """Compile ``circuit`` into the word-domain engine (cached).
 
-    Circuits are immutable by convention, so the compiled engine -- including
-    its growing cone cache -- is shared by every simulator over the same
-    circuit object.
+    The underlying lowering comes from :func:`repro.lowered.compile_lowered`
+    (one lowering per circuit structure, process-wide); the word-domain
+    engine is hung off that shared artifact, so every simulator over the same
+    structure — even over distinct but isomorphic circuit instances — shares
+    one engine including its growing cone cache.
     """
-    engine = getattr(circuit, "_compiled_engine", None)
-    if engine is None or engine.n_gates != circuit.n_gates:
-        engine = CompiledCircuit.from_circuit(circuit)
-        circuit._compiled_engine = engine
+    lowered = compile_lowered(circuit)
+    engine = lowered._sim_engine
+    if engine is None:
+        engine = CompiledCircuit(lowered)
+        lowered._sim_engine = engine
     return engine

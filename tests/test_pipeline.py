@@ -1,0 +1,216 @@
+"""Tests for the pipeline façade (:class:`repro.pipeline.Session`).
+
+The two central claims: the session produces the same numbers as driving the
+subsystems directly, and the lowered-circuit IR is compiled exactly once per
+circuit across all pipeline stages (analyze → optimize → quantize →
+fault-simulate), including repeated runs and isomorphic circuit rebuilds.
+"""
+
+import numpy as np
+import pytest
+
+from repro import PipelineReport, Session
+from repro.analysis import (
+    BatchedCopEstimator,
+    CopDetectionEstimator,
+    remove_redundant,
+)
+from repro.circuits import alu_circuit, s1_comparator
+from repro.core import optimize_input_probabilities
+from repro.faults import collapsed_fault_list
+from repro.faultsim import random_pattern_coverage
+from repro.lowered import compile_count
+
+
+def _small_session(**kwargs):
+    kwargs.setdefault("confidence", 0.999)
+    kwargs.setdefault("max_sweeps", 2)
+    return Session(**kwargs)
+
+
+class TestRegistration:
+    def test_add_defaults_key_to_circuit_name(self):
+        session = _small_session()
+        circuit = s1_comparator(width=4)
+        key = session.add(circuit)
+        assert key == circuit.name
+        assert session.has(key)
+        assert session.circuit(key) is circuit
+
+    def test_re_adding_same_instance_is_idempotent(self):
+        session = _small_session()
+        circuit = s1_comparator(width=4)
+        assert session.add(circuit, key="c") == session.add(circuit, key="c")
+        assert session.keys() == ["c"]
+
+    def test_conflicting_key_rejected(self):
+        session = _small_session()
+        session.add(s1_comparator(width=4), key="c")
+        with pytest.raises(ValueError):
+            session.add(alu_circuit(width=2), key="c")
+
+    def test_unknown_key_rejected(self):
+        session = _small_session()
+        with pytest.raises(KeyError):
+            session.lowered("nope")
+
+    def test_default_fault_list_excludes_redundancies(self):
+        circuit = s1_comparator(width=4)
+        session = _small_session()
+        key = session.add(circuit)
+        expected = remove_redundant(circuit, collapsed_fault_list(circuit))
+        assert session.faults(key) == expected
+
+    def test_explicit_fault_list_used_as_is(self):
+        circuit = s1_comparator(width=4)
+        faults = collapsed_fault_list(circuit)[:5]
+        session = _small_session()
+        key = session.add(circuit, faults=faults)
+        assert session.faults(key) == faults
+
+
+class TestCompileReuse:
+    def test_one_lowering_across_all_stages(self):
+        circuit = alu_circuit(width=2)
+        session = _small_session()
+        key = session.add(circuit)
+        before = compile_count()
+        session.detection_probabilities(key)          # analyze
+        # First stage lowers (or hits the content cache if an isomorphic
+        # instance was compiled earlier in the test run) ...
+        delta = compile_count() - before
+        assert delta <= 1
+        session.required_length(key)                  # analyze (cached)
+        session.optimize(key)                         # optimize
+        session.quantized_weights(key)                # quantize
+        session.fault_simulate(key, 128)              # validate
+        session.fault_simulate(key, 128, weights=session.quantized_weights(key))
+        # ... and every later stage reuses it: no further lowering.
+        assert compile_count() == before + delta
+        assert session.lowerings(key) == delta
+        assert session.total_lowerings == delta
+
+    def test_run_compiles_once_per_circuit(self):
+        session = _small_session()
+        session.add(alu_circuit(width=2), key="alu")
+        session.add(s1_comparator(width=4), key="cmp")
+        before = compile_count()
+        reports = session.run(n_patterns=128)
+        assert [r.key for r in reports] == ["alu", "cmp"]
+        # At most one lowering per circuit (fewer when the content-addressed
+        # cache already held a structure from an earlier isomorphic build).
+        delta = compile_count() - before
+        assert delta <= 2
+        assert session.total_lowerings == delta
+        # A second full run is served from the caches entirely.
+        session.run(n_patterns=128)
+        assert compile_count() == before + delta
+        assert session.total_lowerings == delta
+
+    def test_isomorphic_rebuild_hits_content_cache(self):
+        first = _small_session()
+        first.add(alu_circuit(width=2), key="alu")
+        first.lowered("alu")
+        second = _small_session()
+        second.add(alu_circuit(width=2), key="alu")
+        before = compile_count()
+        second.lowered("alu")
+        assert compile_count() == before
+        assert second.lowerings("alu") == 0  # cache hit, not a compile
+
+
+class TestStageEquivalence:
+    def test_analysis_matches_direct_estimators(self):
+        circuit = s1_comparator(width=4)
+        session = _small_session()
+        key = session.add(circuit)
+        faults = session.faults(key)
+        probs = session.detection_probabilities(key)
+        scalar = CopDetectionEstimator().detection_probabilities(
+            circuit, faults, [0.5] * circuit.n_inputs
+        )
+        np.testing.assert_array_equal(probs, scalar)
+        assert session.detection_probabilities(key) is probs  # baseline cached
+
+    def test_optimize_matches_direct_call(self):
+        circuit = alu_circuit(width=2)
+        faults = remove_redundant(circuit, collapsed_fault_list(circuit))
+        session = _small_session()
+        key = session.add(circuit)
+        via_session = session.optimize(key)
+        direct = optimize_input_probabilities(
+            circuit, faults=faults, confidence=0.999, max_sweeps=2
+        )
+        assert via_session.history == direct.history
+        np.testing.assert_array_equal(via_session.weights, direct.weights)
+
+    def test_fault_simulate_matches_direct_call(self):
+        circuit = s1_comparator(width=4)
+        session = _small_session()
+        key = session.add(circuit)
+        via_session = session.fault_simulate(key, 256, seed=11)
+        direct = random_pattern_coverage(
+            circuit, 256, faults=session.faults(key), seed=11
+        )
+        assert via_session.result.first_detection == direct.result.first_detection
+        # Identical workloads are served from the coverage cache.
+        assert session.fault_simulate(key, 256, seed=11) is via_session
+
+    def test_quantized_weights_with_custom_step(self):
+        session = _small_session()
+        key = session.add(alu_circuit(width=2))
+        default_grid = session.quantized_weights(key)
+        np.testing.assert_array_equal(
+            default_grid, session.optimize(key).quantized_weights
+        )
+        coarse = session.quantized_weights(key, step=0.25)
+        low, high = session.bounds
+        on_grid = np.isclose(coarse, np.round(coarse / 0.25) * 0.25)
+        at_bound = np.isclose(coarse, low) | np.isclose(coarse, high)
+        assert np.all(on_grid | at_bound)
+        assert np.all((coarse >= low) & (coarse <= high))
+
+    def test_optimize_cache_force_and_estimator_override(self):
+        session = _small_session()
+        key = session.add(alu_circuit(width=2))
+        first = session.optimize(key)
+        assert session.optimize(key) is first
+        forced = session.optimize(key, force=True)
+        assert forced is not first
+        # An estimator override is never cached ...
+        scalar = session.optimize(key, estimator=CopDetectionEstimator())
+        assert scalar is not first
+        assert session.optimize(key) is not scalar
+        # ... and (being the same mathematical spec) matches bit for bit.
+        assert scalar.history == first.history
+
+    def test_batched_and_scalar_estimator_sessions_agree(self):
+        batched = _small_session(estimator=BatchedCopEstimator())
+        scalar = _small_session(estimator=CopDetectionEstimator())
+        circuit = alu_circuit(width=2)
+        kb = batched.add(circuit, key="c")
+        ks = scalar.add(alu_circuit(width=2), key="c")
+        np.testing.assert_array_equal(
+            batched.detection_probabilities(kb), scalar.detection_probabilities(ks)
+        )
+        assert batched.required_length(kb) == scalar.required_length(ks)
+
+
+class TestPipelineReport:
+    def test_run_produces_consistent_report(self):
+        session = _small_session()
+        key = session.add(s1_comparator(width=4))
+        report = session.run(key, n_patterns=256)
+        assert isinstance(report, PipelineReport)
+        assert report.key == key
+        assert report.n_faults == len(session.faults(key))
+        assert report.optimized_length <= report.conventional_length
+        assert report.improvement_factor >= 1.0
+        assert 0.0 <= report.conventional_coverage <= 100.0
+        assert 0.0 <= report.optimized_coverage <= 100.0
+        assert report.optimized_coverage >= report.conventional_coverage
+        assert report.quantized_weights.shape == (session.circuit(key).n_inputs,)
+        assert report.lowerings <= 1
+        assert report.optimization is session.optimize(key)
+        summary = report.summary()
+        assert session.circuit(key).name in summary
