@@ -6,7 +6,9 @@ probabilities is self test — an on-chip LFSR generates the (weighted) patterns
 and a signature register compacts the responses; only the final signature is
 compared against the fault-free value.
 
-This example models that flow for the S1 comparator:
+This example models that flow for the S1 comparator, entirely through the
+pipeline session's ``self_test`` stage (which runs on the compiled BIST
+substrate — block LFSR, vectorized weighting network and MISR):
 
 1. optimize the input probabilities,
 2. quantize them to the grid realisable by a 5-bit LFSR weighting network,
@@ -22,14 +24,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import Session, SelfTestSession, s1_comparator
+from repro import Session, s1_comparator
 from repro.core import quantize_to_lfsr_grid
-from repro.patterns import LfsrWeightedPatternGenerator, self_test_detects_fault
+from repro.patterns import self_test_detects_fault
 
 
 def main(width: int = 10, n_patterns: int = 2_000) -> None:
-    # The pipeline session shares one compiled lowering between the analysis
-    # and the optimization below.
+    # The pipeline session shares one compiled lowering between the analysis,
+    # the optimization and the self-test stage below.
     pipeline = Session(drop_redundant=False)
     key = pipeline.add(s1_comparator(width=width))
     circuit = pipeline.circuit(key)
@@ -45,18 +47,22 @@ def main(width: int = 10, n_patterns: int = 2_000) -> None:
     # Optimize and map the weights onto a hardware weighting network grid.
     result = pipeline.optimize(key)
     lfsr_weights = quantize_to_lfsr_grid(result.weights, resolution=5)
-    generator = LfsrWeightedPatternGenerator(lfsr_weights, resolution=5)
     print(f"Optimized test length : ~{result.test_length:,} patterns")
     print("Realised LFSR weights :",
-          np.array2string(generator.realized_weights(), precision=3, separator=", "))
+          np.array2string(np.asarray(lfsr_weights), precision=3, separator=", "))
 
-    # Golden signature of the weighted self-test session.
-    session = SelfTestSession(circuit, n_patterns, weights=lfsr_weights, seed=42)
+    # Golden signature of the weighted self-test session (cached inside the
+    # pipeline; the fault injections below reuse it).
+    session = pipeline.self_test_session(
+        key, n_patterns, weights=lfsr_weights, use_lfsr=True, seed=42
+    )
     golden = session.golden_signature()
     print(f"Golden signature      : 0x{golden:08x} ({n_patterns:,} weighted patterns)")
 
     # The weighted session exposes the hardest fault ...
-    report = session.run(fault=hardest)
+    report = pipeline.self_test(
+        key, n_patterns, weights=lfsr_weights, use_lfsr=True, seed=42, fault=hardest
+    )
     print(f"Weighted self test    : signature 0x{report.signature:08x} -> "
           f"{'FAULT DETECTED' if not report.passed else 'fault missed'}")
 

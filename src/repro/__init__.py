@@ -67,9 +67,13 @@ from .lowered import LoweredCircuit, compile_lowered
 from .patterns import (
     LFSR,
     MISR,
+    CompiledLFSR,
+    CompiledLfsrWeightedPatternGenerator,
+    CompiledMISR,
     LfsrWeightedPatternGenerator,
     SelfTestSession,
     WeightedPatternGenerator,
+    golden_signature,
 )
 from .pipeline import PipelineReport, Session
 
@@ -112,9 +116,13 @@ __all__ = [
     "required_test_length",
     "LFSR",
     "MISR",
+    "CompiledLFSR",
+    "CompiledMISR",
+    "CompiledLfsrWeightedPatternGenerator",
     "WeightedPatternGenerator",
     "LfsrWeightedPatternGenerator",
     "SelfTestSession",
+    "golden_signature",
     "LoweredCircuit",
     "compile_lowered",
     "Session",

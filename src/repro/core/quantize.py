@@ -26,6 +26,11 @@ def quantize_weights(
 
     With the defaults this reproduces the appendix format of the paper: every
     probability is one of 0.05, 0.10, ..., 0.95.
+
+    Weights are snapped through *integer grid indices* and re-rounded to the
+    decimal grid, so the result compares exactly equal to the literal
+    appendix values: ``7 * 0.05`` alone is ``0.35000000000000003`` in binary
+    floating point, while this function returns exactly ``0.35``.
     """
     if step <= 0.0 or step > 1.0:
         raise ValueError("step must lie in (0, 1]")
@@ -33,7 +38,15 @@ def quantize_weights(
     if not 0.0 <= low < high <= 1.0:
         raise ValueError("bounds must satisfy 0 <= low < high <= 1")
     array = np.asarray(list(weights), dtype=float)
-    snapped = np.round(array / step) * step
+    indices = np.round(array / step)
+    raw = indices * step
+    # Snap each grid value to its 12-decimal rendering only when that
+    # rendering is within float noise of index * step — this kills the
+    # binary representation error of decimal steps (7 * 0.05) without
+    # perturbing grids whose points are not short decimals (step = 1/3).
+    rounded = np.round(raw, 12)
+    decimalish = np.abs(rounded - raw) <= 16.0 * np.spacing(np.abs(raw))
+    snapped = np.where(decimalish, rounded, raw)
     return np.clip(snapped, low, high)
 
 

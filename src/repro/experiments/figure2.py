@@ -6,7 +6,9 @@ optimized random patterns; the optimized curve dominates everywhere and
 saturates near 100 % within a few thousand patterns while the conventional one
 stalls around 80 %.  The reproduction produces the two curves (as data series
 and as an ASCII plot) from the same fault-simulation runs used for Tables 2
-and 4.
+and 4; the 12 000-pattern runs are streamed chunk by chunk through
+:meth:`repro.pipeline.Session.fault_simulate` — the full pattern matrix is
+never materialized.
 """
 
 from __future__ import annotations

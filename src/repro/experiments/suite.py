@@ -182,14 +182,21 @@ def simulate_coverage(
     n_patterns: int,
     weights: Optional[Sequence[float]] = None,
     seed: int = EXPERIMENT_SEED,
+    target_coverage: Optional[float] = None,
 ) -> CoverageExperiment:
     """Fault-simulate random patterns through the shared session.
 
     Used by the Table 2/4 and Figure 2 runners; the session reuses the
     circuit's lowering (and caches repeated identical runs), so regenerating
-    several tables fault-simulates each workload once.
+    several tables fault-simulates each workload once.  Patterns are
+    streamed chunkwise; an optional ``target_coverage`` stops the run as
+    soon as that coverage fraction is reached.
     """
     session = _ensure_registered(experiment)
     return session.fault_simulate(
-        experiment.key, n_patterns, weights=weights, seed=seed
+        experiment.key,
+        n_patterns,
+        weights=weights,
+        seed=seed,
+        target_coverage=target_coverage,
     )

@@ -6,6 +6,15 @@ the Figure 2 bench (coverage as a function of the pattern count) and by the
 fault-simulation stage of :class:`repro.pipeline.Session`.  Every call reuses
 the circuit's cached lowering (:mod:`repro.lowered`) through the compiled
 engine — repeated coverage runs never re-lower the netlist.
+
+:func:`random_pattern_coverage` *streams* pattern chunks from the generator
+(:meth:`~repro.patterns.weighted.WeightedPatternGenerator.generate_stream`)
+instead of materializing the full ``(n_patterns, n_inputs)`` matrix: only one
+chunk lives in memory at a time, detection results are identical to the
+materialized path (chunking never affects per-pattern detection, and the
+chunked PRNG stream equals the one-shot draw), and an optional
+``target_coverage`` stops the stream as soon as the requested coverage is
+reached.
 """
 
 from __future__ import annotations
@@ -59,12 +68,19 @@ def random_pattern_coverage(
     seed: int = 1987,
     batch_size: int = 2048,
     fault_group: Optional[int] = None,
+    chunk_size: int = 4096,
+    target_coverage: Optional[float] = None,
 ) -> CoverageExperiment:
-    """Fault-simulate ``n_patterns`` weighted random patterns.
+    """Fault-simulate up to ``n_patterns`` weighted random patterns, streamed.
+
+    Patterns are generated and simulated chunk by chunk — the full pattern
+    matrix is never materialized.  Coverage and first-detection indices are
+    identical to simulating one ``(n_patterns, n_inputs)`` matrix.
 
     Args:
         circuit: circuit under test.
-        n_patterns: number of random patterns to apply.
+        n_patterns: number of random patterns to apply (an upper bound when
+            ``target_coverage`` is set).
         weights: per-input probability of generating a 1; defaults to the
             conventional equiprobable test (all 0.5).
         faults: fault list; defaults to the collapsed stuck-at list.
@@ -72,14 +88,21 @@ def random_pattern_coverage(
         batch_size: bit-parallel batch size.
         fault_group: faults simulated simultaneously per group (``None`` =
             adaptive, see :class:`ParallelFaultSimulator`).
+        chunk_size: patterns generated (and held in memory) per stream chunk.
+        target_coverage: optional fault-coverage fraction at which to stop
+            the stream early; the returned experiment's ``n_patterns`` then
+            reflects the patterns actually applied.
     """
     if weights is None:
         weights = [0.5] * circuit.n_inputs
     generator = WeightedPatternGenerator(weights, seed=seed)
-    patterns = generator.generate(n_patterns)
     simulator = ParallelFaultSimulator(circuit, faults, fault_group=fault_group)
-    result = simulator.run(patterns, batch_size=batch_size)
-    return CoverageExperiment(circuit.name, n_patterns, result, list(weights))
+    result = simulator.run_stream(
+        generator.generate_stream(n_patterns, chunk=chunk_size),
+        batch_size=batch_size,
+        target_coverage=target_coverage,
+    )
+    return CoverageExperiment(circuit.name, result.n_patterns, result, list(weights))
 
 
 def coverage_curve(

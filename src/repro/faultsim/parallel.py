@@ -26,7 +26,7 @@ differential-tested against this implementation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -170,42 +170,92 @@ class ParallelFaultSimulator:
         Returns:
             a :class:`FaultSimResult` with first-detection indices.
         """
-        patterns = np.asarray(patterns, dtype=bool)
-        n_patterns = patterns.shape[0]
+        return self.run_stream(
+            [np.asarray(patterns, dtype=bool)],
+            drop_detected=drop_detected,
+            batch_size=batch_size,
+        )
+
+    def run_stream(
+        self,
+        chunks: Iterable[np.ndarray],
+        drop_detected: bool = True,
+        batch_size: int = 2048,
+        target_coverage: Optional[float] = None,
+    ) -> FaultSimResult:
+        """Fault-simulate a stream of pattern chunks.
+
+        Detection results are identical to materializing the stream into one
+        matrix and calling :meth:`run` — chunk and batch boundaries never
+        affect per-pattern detection — but only one chunk is held in memory
+        at a time, and the stream can stop early once a coverage target is
+        reached.
+
+        Args:
+            chunks: iterable of boolean pattern matrices applied back to
+                back (e.g. ``WeightedPatternGenerator.generate_stream``).
+            drop_detected: drop faults from later batches once detected.
+            batch_size: patterns per bit-parallel batch.
+            target_coverage: optional fault-coverage fraction; when reached
+                (checked after each chunk) the remaining chunks are not
+                consumed and :attr:`FaultSimResult.n_patterns` reflects only
+                the patterns actually applied.  ``None`` consumes the whole
+                stream, matching :meth:`run` exactly.
+
+        Returns:
+            a :class:`FaultSimResult` with first-detection indices and the
+            number of patterns consumed from the stream.
+        """
         engine = self._engine
         live: List[Fault] = [
             self.faults[fi] for fi in self._site_level_order(self.faults)
         ]
         first_detection: Dict[Fault, int] = {}
+        n_faults = len(self.faults)
+        applied = 0
 
-        for start in range(0, n_patterns, batch_size):
-            if not live:
+        for chunk in chunks:
+            chunk = np.asarray(chunk, dtype=bool)
+            chunk_len = chunk.shape[0]
+            if live:
+                for start in range(0, chunk_len, batch_size):
+                    if not live:
+                        break
+                    batch = chunk[start : start + batch_size]
+                    batch_len = batch.shape[0]
+                    n_words = (batch_len + WORD_BITS - 1) // WORD_BITS
+                    good = engine.simulate_words(pack_patterns(batch))
+                    mask = _valid_mask(batch_len, n_words)
+                    group_size = self._group_size(n_words)
+                    still_live: List[Fault] = []
+                    for g_start in range(0, len(live), group_size):
+                        group = live[g_start : g_start + group_size]
+                        detection = engine.fault_batch_detection(
+                            group, good, n_words, valid_mask=mask
+                        )
+                        firsts = first_detection_indices(detection)
+                        for fault, first in zip(group, firsts):
+                            if first >= 0:
+                                # Without dropping a fault stays live after
+                                # detection; never let a later batch overwrite
+                                # the first index.
+                                if fault not in first_detection:
+                                    first_detection[fault] = (
+                                        applied + start + int(first)
+                                    )
+                                if not drop_detected:
+                                    still_live.append(fault)
+                            else:
+                                still_live.append(fault)
+                    live = still_live
+            applied += chunk_len
+            if (
+                target_coverage is not None
+                and n_faults
+                and len(first_detection) / n_faults >= target_coverage
+            ):
                 break
-            batch = patterns[start : start + batch_size]
-            batch_len = batch.shape[0]
-            n_words = (batch_len + WORD_BITS - 1) // WORD_BITS
-            good = engine.simulate_words(pack_patterns(batch))
-            mask = _valid_mask(batch_len, n_words)
-            group_size = self._group_size(n_words)
-            still_live: List[Fault] = []
-            for g_start in range(0, len(live), group_size):
-                group = live[g_start : g_start + group_size]
-                detection = engine.fault_batch_detection(
-                    group, good, n_words, valid_mask=mask
-                )
-                firsts = first_detection_indices(detection)
-                for fault, first in zip(group, firsts):
-                    if first >= 0:
-                        # Without dropping a fault stays live after detection;
-                        # never let a later batch overwrite the first index.
-                        if fault not in first_detection:
-                            first_detection[fault] = start + int(first)
-                        if not drop_detected:
-                            still_live.append(fault)
-                    else:
-                        still_live.append(fault)
-            live = still_live
-        return FaultSimResult(list(self.faults), first_detection, n_patterns)
+        return FaultSimResult(list(self.faults), first_detection, applied)
 
     def detection_counts(
         self, patterns: np.ndarray, batch_size: int = 2048

@@ -9,24 +9,37 @@ circuit inputs and as a signature analyser (MISR) on the circuit outputs.
 :class:`SelfTestSession` models a complete self-test run: generate ``N``
 (optionally weighted) random patterns, apply them to the circuit, compact the
 responses into a signature and compare against the fault-free golden
-signature.  :func:`self_test_detects_fault` re-runs the session with a fault
-injected, which is how the BIST examples demonstrate end-to-end detection.
+signature.  The session runs on the compiled substrate: patterns come from
+the block LFSR / weighting network
+(:class:`repro.patterns.compiled.CompiledLfsrWeightedPatternGenerator`) when
+``use_lfsr=True`` (hardware-realistic) or from the software PRNG generator
+otherwise, responses from the shared word-domain engine
+(:mod:`repro.simulation.compiled`) — including *faulty* responses, which are
+produced by one fault-parallel injection pass instead of a per-pattern
+interpreted loop — and signatures from the vectorized
+:class:`repro.patterns.compiled.CompiledMISR`.  The pattern matrix, the
+fault-free net values and the golden signature are computed once per session
+and reused by every :meth:`SelfTestSession.run` call.
+
+:func:`self_test_detects_fault` re-runs the session with a fault injected,
+which is how the BIST examples demonstrate end-to-end detection.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from ..circuit.netlist import Circuit
 from ..faults.model import Fault
 from ..faultsim.parallel import ParallelFaultSimulator
-from ..simulation.logicsim import LogicSimulator
-from .lfsr import PRIMITIVE_TAPS
-from .misr import MISR
-from .weighted import LfsrWeightedPatternGenerator, WeightedPatternGenerator
+from ..simulation.compiled import CompiledCircuit, compile_circuit
+from ..simulation.logicsim import pack_patterns, unpack_values
+from .compiled import CompiledLfsrWeightedPatternGenerator, CompiledMISR
+from .misr import MISR, default_misr_width
+from .weighted import WeightedPatternGenerator
 
 __all__ = ["SelfTestSession", "SelfTestReport", "self_test_detects_fault"]
 
@@ -57,7 +70,11 @@ class SelfTestSession:
         use_lfsr: if True, patterns come from an LFSR-based weighting network
             (hardware realistic); otherwise from a software PRNG.
         misr_width: signature register width (defaults to a tabulated width
-            that holds all primary outputs).
+            that holds all primary outputs; a circuit with more outputs than
+            the largest tabulated width requires an explicit ``misr_width``
+            plus ``misr_taps``).
+        misr_taps: optional explicit MISR feedback taps (1-based polynomial
+            exponents), required for untabulated widths.
         seed: seed for the pattern source.
     """
 
@@ -68,6 +85,7 @@ class SelfTestSession:
         weights: Optional[Sequence[float]] = None,
         use_lfsr: bool = False,
         misr_width: Optional[int] = None,
+        misr_taps: Optional[Sequence[int]] = None,
         seed: int = 1987,
     ):
         self.circuit = circuit
@@ -78,36 +96,65 @@ class SelfTestSession:
         if len(self.weights) != circuit.n_inputs:
             raise ValueError("one weight per primary input is required")
         if use_lfsr:
-            self._generator = LfsrWeightedPatternGenerator(self.weights, seed=seed)
+            self._generator = CompiledLfsrWeightedPatternGenerator(
+                self.weights, seed=seed
+            )
         else:
             self._generator = WeightedPatternGenerator(self.weights, seed=seed)
         if misr_width is None:
-            misr_width = next(
-                w for w in sorted(PRIMITIVE_TAPS) if w >= max(2, circuit.n_outputs)
-            )
+            misr_width = default_misr_width(circuit.n_outputs)
         self.misr_width = misr_width
+        self.misr_taps = tuple(misr_taps) if misr_taps is not None else None
+        self._engine: CompiledCircuit = compile_circuit(circuit)
         self._patterns: Optional[np.ndarray] = None
+        self._good_values: Optional[np.ndarray] = None
+        self._golden: Optional[int] = None
 
     # ------------------------------------------------------------------ #
+    def _fresh_misr(self) -> Union[CompiledMISR, MISR]:
+        """A zero-seeded signature register (vectorized when width <= 64)."""
+        if self.misr_width <= 64:
+            return CompiledMISR(self.misr_width, taps=self.misr_taps)
+        return MISR(self.misr_width, taps=self.misr_taps)
+
     def patterns(self) -> np.ndarray:
         """The (cached) pattern matrix applied by this session."""
         if self._patterns is None:
             self._patterns = self._generator.generate(self.n_patterns)
         return self._patterns
 
+    def _good_net_values(self) -> np.ndarray:
+        """Fault-free word-domain values of every net (cached)."""
+        if self._good_values is None:
+            self._good_values = self._engine.simulate_words(
+                pack_patterns(self.patterns())
+            )
+        return self._good_values
+
+    def _fault_free_responses(self) -> np.ndarray:
+        """Fault-free output responses ``(n_patterns, n_outputs)``."""
+        good = self._good_net_values()
+        return unpack_values(good[self._engine.outputs], self.n_patterns)
+
     def golden_signature(self) -> int:
-        """Signature of the fault-free circuit."""
-        responses = LogicSimulator(self.circuit).simulate_patterns(self.patterns())
-        return MISR(self.misr_width).compact(responses)
+        """Signature of the fault-free circuit (computed once, then cached)."""
+        if self._golden is None:
+            self._golden = self._fresh_misr().compact(self._fault_free_responses())
+        return self._golden
 
     def run(self, fault: Optional[Fault] = None) -> SelfTestReport:
-        """Execute the self test, optionally with a fault injected."""
+        """Execute the self test, optionally with a fault injected.
+
+        Repeated calls reuse the cached pattern matrix, fault-free net values
+        and golden signature — only the faulty response pass depends on the
+        injected fault.
+        """
         golden = self.golden_signature()
         if fault is None:
-            responses = LogicSimulator(self.circuit).simulate_patterns(self.patterns())
+            signature = golden
         else:
-            responses = _faulty_responses(self.circuit, fault, self.patterns())
-        signature = MISR(self.misr_width).compact(responses)
+            responses = self._faulty_responses(fault)
+            signature = self._fresh_misr().compact(responses)
         return SelfTestReport(
             circuit_name=self.circuit.name,
             n_patterns=self.n_patterns,
@@ -115,16 +162,12 @@ class SelfTestSession:
             golden_signature=golden,
         )
 
-
-def _faulty_responses(circuit: Circuit, fault: Fault, patterns: np.ndarray) -> np.ndarray:
-    """Output responses of the circuit with ``fault`` injected."""
-    from ..faultsim.serial import simulate_with_fault
-
-    responses = np.zeros((patterns.shape[0], circuit.n_outputs), dtype=bool)
-    for row, pattern in enumerate(patterns):
-        values = simulate_with_fault(circuit, fault, [bool(v) for v in pattern])
-        responses[row] = [values[out] for out in circuit.outputs]
-    return responses
+    def _faulty_responses(self, fault: Fault) -> np.ndarray:
+        """Output responses with ``fault`` injected (one compiled pass)."""
+        good = self._good_net_values()
+        n_words = good.shape[1]
+        out_words = self._engine.fault_output_words([fault], good, n_words)[:, 0, :]
+        return unpack_values(out_words, self.n_patterns)
 
 
 def self_test_detects_fault(

@@ -1,0 +1,477 @@
+"""Compiled (vectorized) BIST substrate: LFSR, weighting network and MISR.
+
+The scalar classes in :mod:`repro.patterns.lfsr`, :mod:`~repro.patterns.weighted`
+and :mod:`~repro.patterns.misr` step one Python bit at a time — fine as a
+reference, hopeless as the pattern source of a self-test session over
+thousands of patterns.  This module re-implements all three on top of the
+same GF(2) linear-algebra trick: both a Galois LFSR step and a type-2 MISR
+step are *linear* maps over GF(2) on the register state, so
+
+* a **leap-ahead transition matrix** ``M**k`` (computed once by repeated
+  squaring and lowered to byte-indexed lookup tables) advances a whole
+  vector of decimated lane states in ``ceil(width / 8)`` vectorized gathers,
+* the 64 successive output bits of a lane are themselves a linear function
+  of its state, so one more table application extracts a full ``uint64``
+  **output word per lane per leap** — bit-stream generation becomes a
+  handful of numpy kernels regardless of length (:class:`CompiledLFSR`),
+* the weighting network is a reshape + threshold compare over that stream
+  (:class:`CompiledLfsrWeightedPatternGenerator`),
+* MISR compaction folds lanes of response words with a vectorized register
+  update and combines the per-lane partial signatures with a logarithmic
+  leap-ahead tree (:class:`CompiledMISR`); the word packing itself is one
+  matrix product instead of a per-bit loop.
+
+The leap-ahead tables are cached process-wide per (width, taps) — repeated
+sessions over the same register pay the (small) table build once.
+
+Everything is **bit-identical** to the scalar classes for the same
+width/taps/seed — the differential tests in ``tests/test_patterns_compiled.py``
+assert exact equality of bit streams, pattern matrices and signatures across
+all registry circuits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .lfsr import LFSR
+from .misr import resolve_misr_taps
+from .weighted import LfsrWeightedPatternGenerator
+
+__all__ = [
+    "CompiledLFSR",
+    "CompiledLfsrWeightedPatternGenerator",
+    "CompiledMISR",
+    "pack_response_words",
+]
+
+_U64_ONE = np.uint64(1)
+
+#: Default number of decimated LFSR lanes advanced in lock-step.  Each
+#: leap-ahead application produces one 64-bit output *word* per lane, so more
+#: lanes means fewer Python-level iterations per generated bit.
+_DEFAULT_LANES = 4096
+
+#: Target lane count of the MISR block fold; the stream is split into this
+#: many lanes folded in lock-step, and the per-lane partial signatures are
+#: combined by a logarithmic leap-ahead tree.
+_MISR_LANES = 2048
+
+
+# --------------------------------------------------------------------------- #
+# GF(2) linear maps on register states
+#
+# A state of width w <= 64 is a uint64; a linear map is represented by its w
+# columns (column j = image of basis state 1 << j), each itself a uint64.
+# --------------------------------------------------------------------------- #
+def _mat_vec(cols: Sequence[int], state: int) -> int:
+    """Apply a column-represented GF(2) matrix to a single state."""
+    result = 0
+    j = 0
+    while state:
+        if state & 1:
+            result ^= cols[j]
+        state >>= 1
+        j += 1
+    return result
+
+
+def _mat_mul(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Compose two column-represented maps (``a`` after ``b``)."""
+    return [_mat_vec(a, col) for col in b]
+
+
+def _next_pow2(n: int) -> int:
+    """Smallest power of two >= ``n`` (for n >= 1)."""
+    return 1 << (n - 1).bit_length()
+
+
+def _byte_tables(cols: Sequence[int]) -> List[tuple]:
+    """Lower a column-represented map to byte-indexed lookup tables.
+
+    Chunk ``i`` covers state bits ``8*i .. 8*i+7``; applying the map to a
+    vector of states is one 256-entry gather plus one XOR per chunk.
+    """
+    tables = []
+    index = np.arange(256)
+    for base in range(0, len(cols), 8):
+        chunk = cols[base : base + 8]
+        table = np.zeros(256, dtype=np.uint64)
+        for j, col in enumerate(chunk):
+            if col:
+                table[(index >> j) & 1 == 1] ^= np.uint64(col)
+        tables.append((np.uint64(base), table))
+    return tables
+
+
+def _apply_tables(tables: Sequence[tuple], states: np.ndarray) -> np.ndarray:
+    """Apply byte-table-lowered linear map to a ``uint64`` vector of states."""
+    out = np.zeros_like(states)
+    mask = np.uint64(0xFF)
+    for shift, table in tables:
+        out ^= table[(states >> shift) & mask]
+    return out
+
+
+class _LinearRegister:
+    """Cached powers and byte tables of a one-step GF(2) transition matrix."""
+
+    def __init__(self, step_columns: List[int]):
+        self._cols = step_columns
+        self._pow2: List[List[int]] = [step_columns]
+        self._pow_cache: Dict[int, List[int]] = {1: step_columns}
+        self._table_cache: Dict[int, List[tuple]] = {}
+        self._lsb_tables: Optional[List[tuple]] = None
+
+    def _pow2_cols(self, i: int) -> List[int]:
+        while len(self._pow2) <= i:
+            last = self._pow2[-1]
+            self._pow2.append(_mat_mul(last, last))
+        return self._pow2[i]
+
+    def power(self, exponent: int) -> List[int]:
+        """Columns of the ``exponent``-step transition matrix (cached)."""
+        if exponent < 1:
+            raise ValueError("exponent must be positive")
+        cols = self._pow_cache.get(exponent)
+        if cols is None:
+            e, i = exponent, 0
+            while e:
+                if e & 1:
+                    p = self._pow2_cols(i)
+                    # Powers of one matrix commute; composition order is free.
+                    cols = p if cols is None else _mat_mul(p, cols)
+                e >>= 1
+                i += 1
+            self._pow_cache[exponent] = cols
+        return cols
+
+    def apply(self, exponent: int, states: np.ndarray) -> np.ndarray:
+        """Advance a ``uint64`` vector of states by ``exponent`` steps."""
+        tables = self._table_cache.get(exponent)
+        if tables is None:
+            tables = _byte_tables(self.power(exponent))
+            self._table_cache[exponent] = tables
+        return _apply_tables(tables, states)
+
+    def advance(self, state: int, steps: int) -> int:
+        """State after ``steps`` applications of the one-step map."""
+        i = 0
+        while steps:
+            if steps & 1:
+                state = _mat_vec(self._pow2_cols(i), state)
+            steps >>= 1
+            i += 1
+        return state
+
+    def lsb_word_extractor(self) -> List[tuple]:
+        """Byte tables of the map ``state -> next 64 output (LSB) bits``.
+
+        The 64 successive LSBs a register emits are each linear in the
+        initial state, so the whole output word is one more table
+        application per lane.
+        """
+        if self._lsb_tables is None:
+            out_cols = []
+            for j in range(len(self._cols)):
+                state, word = 1 << j, 0
+                for u in range(64):
+                    word |= (state & 1) << u
+                    state = _mat_vec(self._cols, state)
+                out_cols.append(word)
+            self._lsb_tables = _byte_tables(out_cols)
+        return self._lsb_tables
+
+
+#: Process-wide register cache keyed by the one-step transition matrix: every
+#: generator/MISR over the same (width, taps) shares one set of leap-ahead
+#: tables, so repeated sessions never rebuild them.
+_REGISTER_CACHE: Dict[tuple, _LinearRegister] = {}
+
+
+def _shared_register(step_columns: List[int]) -> _LinearRegister:
+    key = tuple(step_columns)
+    register = _REGISTER_CACHE.get(key)
+    if register is None:
+        register = _LinearRegister(step_columns)
+        _REGISTER_CACHE[key] = register
+    return register
+
+
+# --------------------------------------------------------------------------- #
+# Compiled LFSR
+# --------------------------------------------------------------------------- #
+class CompiledLFSR(LFSR):
+    """Vectorized Galois LFSR producing bit streams in blocks.
+
+    A subclass of the scalar reference :class:`repro.patterns.lfsr.LFSR`
+    (same Galois internal-XOR update, tap convention, seed handling,
+    ``step``/``reset``/``bits`` behavior), but the stream is generated by
+    decimated lane copies of the register advanced in lock-step through
+    precomputed leap-ahead tables: lane ``j`` holds the state at time
+    ``64 * j``, one table application extracts each lane's next 64 output
+    bits as a ``uint64`` word, and one more leaps every lane ``64 * lanes``
+    steps ahead.  Generating ``n`` bits costs ``O(n / (64 * lanes))`` numpy
+    kernel invocations.
+
+    Args:
+        width: number of register stages (2..64).
+        taps: 1-based feedback tap positions of the primitive polynomial;
+            defaults to :data:`repro.patterns.lfsr.PRIMITIVE_TAPS`.
+        seed: initial register state (must be non-zero); defaults to all ones.
+        lanes: decimation factor / vector width of the block generator (in
+            64-bit output words per lane row).
+    """
+
+    def __init__(
+        self,
+        width: int,
+        taps: Sequence[int] | None = None,
+        seed: int | None = None,
+        lanes: int = _DEFAULT_LANES,
+    ):
+        if width > 64:
+            raise ValueError(
+                "CompiledLFSR packs states into uint64 words; width must be <= 64"
+            )
+        if lanes < 1:
+            raise ValueError("lanes must be positive")
+        super().__init__(width, taps=taps, seed=seed)
+        self._lanes = int(lanes)
+        # One Galois step is linear over GF(2): shifting bit 0 out feeds the
+        # polynomial mask back in, every other bit just moves down one stage.
+        step_cols = [self._feedback_mask] + [1 << (j - 1) for j in range(1, width)]
+        self._register = _shared_register(step_cols)
+
+    # ------------------------------------------------------------------ #
+    def _lane_seeds(self, n_lanes: int) -> np.ndarray:
+        """States after 0, 64, ..., 64*(n_lanes-1) steps (vectorized doubling)."""
+        seeds = np.empty(n_lanes, dtype=np.uint64)
+        seeds[0] = self.state
+        filled = 1
+        while filled < n_lanes:
+            take = min(filled, n_lanes - filled)
+            seeds[filled : filled + take] = self._register.apply(
+                64 * filled, seeds[:take]
+            )
+            filled += take
+        return seeds
+
+    def bit_block(self, count: int) -> np.ndarray:
+        """The next ``count`` output bits as a ``uint8`` array.
+
+        Continues the stream exactly where the previous call (or
+        :meth:`step`) left off, and leaves :attr:`state` at the value the
+        scalar register would hold after the same number of clocks.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return np.zeros(0, dtype=np.uint8)
+        n_words = -(-count // 64)
+        # Rounding the lane count to a power of two keeps the set of leap
+        # exponents (and hence the shared register's table cache) bounded no
+        # matter how many distinct stream lengths a process generates; the
+        # few extra lane words of short streams are truncated below.
+        n_lanes = min(self._lanes, _next_pow2(n_words))
+        states = self._lane_seeds(n_lanes)
+        n_blocks = -(-n_words // n_lanes)
+        extractor = self._register.lsb_word_extractor()
+        words = np.empty((n_blocks, n_lanes), dtype=np.uint64)
+        for block in range(n_blocks):
+            words[block] = _apply_tables(extractor, states)
+            if block + 1 < n_blocks:
+                states = self._register.apply(64 * n_lanes, states)
+        # Word (block, lane) covers bit times [(block*n_lanes + lane) * 64,
+        # ... + 64); forcing little-endian word bytes makes the flat
+        # little-endian bit unpack exactly time order on any host.
+        stream = np.unpackbits(
+            words.reshape(-1).astype("<u8", copy=False).view(np.uint8),
+            bitorder="little",
+        )[:count]
+        self.state = self._register.advance(self.state, count)
+        return stream
+
+    def patterns(self, n_patterns: int, n_signals: int) -> np.ndarray:
+        """Serially shifted test patterns (``n_signals`` bits per pattern).
+
+        Bit-identical to :meth:`repro.patterns.lfsr.LFSR.patterns`.
+        """
+        total = n_patterns * n_signals
+        stream = self.bit_block(total)
+        return stream.reshape(n_patterns, n_signals).astype(bool)
+
+
+# --------------------------------------------------------------------------- #
+# Compiled weighting network
+# --------------------------------------------------------------------------- #
+class CompiledLfsrWeightedPatternGenerator(LfsrWeightedPatternGenerator):
+    """Vectorized LFSR weighting network.
+
+    A subclass of the scalar reference
+    :class:`repro.patterns.weighted.LfsrWeightedPatternGenerator` that only
+    swaps the bit source: the stream comes from :class:`CompiledLFSR` in one
+    block per ``generate`` call instead of one Python ``step()`` per bit.
+    Everything else — validation, threshold clamping, the reshape/compare
+    math, the streaming API — is the shared base-class implementation, so the
+    two classes cannot diverge.
+    """
+
+    def __init__(
+        self,
+        weights: Sequence[float],
+        resolution: int = 5,
+        lfsr_width: int = 32,
+        seed: int | None = None,
+        lanes: int = _DEFAULT_LANES,
+    ):
+        # Consumed by _make_lfsr, which the base constructor calls.
+        self._lanes_config = int(lanes)
+        super().__init__(
+            weights, resolution=resolution, lfsr_width=lfsr_width, seed=seed
+        )
+
+    def _make_lfsr(self, width: int, seed: int | None) -> CompiledLFSR:
+        return CompiledLFSR(width, seed=seed, lanes=self._lanes_config)
+
+    def _bit_stream(self, n_bits: int) -> np.ndarray:
+        return self._lfsr.bit_block(n_bits)
+
+
+# --------------------------------------------------------------------------- #
+# Compiled MISR
+# --------------------------------------------------------------------------- #
+def pack_response_words(responses: np.ndarray) -> np.ndarray:
+    """Pack a boolean response matrix ``(n_patterns, n_outputs)`` into words.
+
+    Bit ``i`` of word ``p`` is output ``i`` of pattern ``p`` — the same
+    little-endian packing the scalar :meth:`repro.patterns.misr.MISR.compact`
+    builds one bit at a time.
+    """
+    responses = np.asarray(responses, dtype=bool)
+    if responses.ndim != 2:
+        raise ValueError("responses must be 2-D (n_patterns, n_outputs)")
+    n_outputs = responses.shape[1]
+    if n_outputs > 64:
+        raise ValueError("cannot pack more than 64 parallel outputs per word")
+    powers = np.left_shift(_U64_ONE, np.arange(n_outputs, dtype=np.uint64))
+    return (responses.astype(np.uint64) * powers[None, :]).sum(
+        axis=1, dtype=np.uint64
+    )
+
+
+class CompiledMISR:
+    """Vectorized multiple-input signature register.
+
+    The type-2 MISR update ``s' = ((s << 1) | parity(s & taps)) ^ r`` is
+    affine over GF(2): the final signature after ``N`` response words is
+    ``A**N(seed) XOR fold(r_0..r_{N-1})`` where ``A`` is the linear register
+    map and the fold is computed lane-wise — the stream is split into up to
+    :data:`_MISR_LANES` lanes whose partial signatures are built by
+    vectorized register updates, then combined with a logarithmic tree of
+    leap-ahead table applications.  Signatures are bit-identical to
+    :class:`repro.patterns.misr.MISR` for the same width/taps/seed, including
+    state continuation across :meth:`compact` calls.
+    """
+
+    def __init__(self, width: int, taps: Sequence[int] | None = None, seed: int = 0):
+        if width > 64:
+            raise ValueError(
+                "CompiledMISR packs states into uint64 words; width must be <= 64 "
+                "(use the scalar MISR for wider registers)"
+            )
+        self.width = width
+        self.taps = resolve_misr_taps(width, taps)
+        self._mask = (1 << width) - 1
+        tap_mask = 0
+        for tap in self.taps:
+            tap_mask |= 1 << (tap - 1)
+        self._tap_mask = tap_mask
+        # Column j of the linear register map A: bit j shifts up one stage and
+        # contributes its tap parity to the new stage-0 bit.
+        cols = [
+            ((1 << (j + 1)) & self._mask) | ((tap_mask >> j) & 1)
+            for j in range(width)
+        ]
+        self._register = _shared_register(cols)
+        self.state = seed & self._mask
+        self._initial_state = self.state
+
+    def reset(self) -> None:
+        self.state = self._initial_state
+
+    @property
+    def signature(self) -> int:
+        return self.state
+
+    # ------------------------------------------------------------------ #
+    def _update_lanes(self, states: np.ndarray, words: np.ndarray) -> np.ndarray:
+        """One register step applied to a vector of lane states."""
+        parity = states & np.uint64(self._tap_mask)
+        for shift in (32, 16, 8, 4, 2, 1):
+            parity ^= parity >> np.uint64(shift)
+        parity &= _U64_ONE
+        return (((states << _U64_ONE) & np.uint64(self._mask)) | parity) ^ words
+
+    def compact_words(self, words: np.ndarray) -> int:
+        """Shift a stream of response words through the register.
+
+        Args:
+            words: ``uint64`` array, one response word per pattern in time
+                order (bit ``i`` = output ``i``).
+
+        Returns:
+            the final signature; :attr:`state` is updated so subsequent
+            calls continue the compaction exactly like the scalar register.
+        """
+        words = np.ascontiguousarray(words, dtype=np.uint64)
+        n_words = int(words.size)
+        if n_words == 0:
+            return self.state
+        # Short streams become one word per lane (no sequential fold at
+        # all); long streams cap the lane count so the Python-level fold
+        # loop stays O(n_words / _MISR_LANES).  The block length is rounded
+        # to a power of two so every tree-combine span is one too, keeping
+        # the shared register's leap-table cache bounded across arbitrary
+        # stream lengths.
+        block = _next_pow2(max(1, -(-n_words // _MISR_LANES)))
+        n_lanes = -(-n_words // block)
+        # Pad with zero words at the *front*: from a zero fold state a zero
+        # word is a no-op, so the padded fold equals the true fold.
+        padded = np.zeros(n_lanes * block, dtype=np.uint64)
+        padded[-n_words:] = words
+        lanes = padded.reshape(n_lanes, block)
+        fold = np.zeros(n_lanes, dtype=np.uint64)
+        for u in range(block):
+            fold = self._update_lanes(fold, lanes[:, u])
+        # Tree-combine the per-lane partial signatures (zero lanes pad the
+        # front so the count is a power of two; they contribute nothing).
+        n_leaves = 1 << (n_lanes - 1).bit_length()
+        tree = np.zeros(n_leaves, dtype=np.uint64)
+        tree[-n_lanes:] = fold
+        span = block
+        while tree.size > 1:
+            tree = self._register.apply(span, tree[0::2]) ^ tree[1::2]
+            span *= 2
+        contribution = int(tree[0])
+        self.state = (
+            self._register.advance(self.state, n_words) ^ contribution
+        ) & self._mask
+        return self.state
+
+    def compact(self, responses: np.ndarray) -> int:
+        """Compact a boolean response matrix ``(n_patterns, n_outputs)``.
+
+        Bit-identical to :meth:`repro.patterns.misr.MISR.compact`.
+        """
+        responses = np.asarray(responses, dtype=bool)
+        if responses.ndim != 2:
+            raise ValueError("responses must be 2-D (n_patterns, n_outputs)")
+        if responses.shape[1] > self.width:
+            raise ValueError(
+                f"MISR of width {self.width} cannot compact "
+                f"{responses.shape[1]} parallel outputs"
+            )
+        return self.compact_words(pack_response_words(responses))

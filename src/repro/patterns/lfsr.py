@@ -2,9 +2,19 @@
 
 The paper motivates random testing with the fact that patterns "can be
 produced ... by linear feedback shift registers (LFSR) during self test"
-(introduction).  This module provides a Fibonacci-style LFSR with maximal-length
-(primitive) feedback polynomials for all register lengths used by the examples
-and benches, plus helpers to stream bits and whole test patterns.
+(introduction).  This module provides a **Galois (internal-XOR)** LFSR with
+maximal-length (primitive) feedback polynomials for all register lengths used
+by the examples and benches, plus helpers to stream bits and whole test
+patterns.
+
+Tap convention: ``taps`` lists the exponents of the non-constant terms of the
+feedback polynomial, 1-based as usually tabulated — ``(8, 6, 5, 4)`` means
+``x**8 + x**6 + x**5 + x**4 + 1``.  In the Galois form each tap ``t`` XORs
+the bit shifted out of stage 1 into stage ``t``; a Fibonacci (external-XOR)
+register with the same polynomial produces the same *sequence* but walks a
+different state orbit, so streams are only comparable within one convention.
+The scalar class here is the reference implementation; the block generator
+:class:`repro.patterns.compiled.CompiledLFSR` is bit-identical to it.
 """
 
 from __future__ import annotations
@@ -13,7 +23,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-__all__ = ["LFSR", "PRIMITIVE_TAPS", "max_sequence_length"]
+__all__ = ["LFSR", "PRIMITIVE_TAPS", "max_sequence_length", "resolve_lfsr_config"]
 
 
 #: Feedback tap positions (1-based, as usually tabulated) of primitive
@@ -55,6 +65,44 @@ def max_sequence_length(width: int) -> int:
     return (1 << width) - 1
 
 
+def resolve_lfsr_config(
+    width: int, taps: Sequence[int] | None, seed: int | None
+) -> tuple:
+    """Validate and normalize an LFSR configuration.
+
+    Shared by the scalar :class:`LFSR` and the vectorized
+    :class:`repro.patterns.compiled.CompiledLFSR`, so the two classes can
+    never diverge on tap defaulting or seed handling.
+
+    Returns:
+        ``(taps, seed, mask, feedback_mask)`` — the taps sorted descending,
+        the (defaulted, masked, non-zero) seed, the state mask and the
+        Galois feedback mask.
+    """
+    if width < 2:
+        raise ValueError("LFSR width must be at least 2")
+    if taps is None:
+        if width not in PRIMITIVE_TAPS:
+            raise ValueError(
+                f"no primitive polynomial tabulated for width {width}; "
+                "pass taps explicitly"
+            )
+        taps = PRIMITIVE_TAPS[width]
+    taps = tuple(sorted(set(taps), reverse=True))
+    if any(t < 1 or t > width for t in taps):
+        raise ValueError(f"tap positions must lie in 1..{width}: {taps}")
+    mask = (1 << width) - 1
+    if seed is None:
+        seed = mask
+    seed &= mask
+    if seed == 0:
+        raise ValueError("LFSR seed must be non-zero")
+    feedback_mask = 0
+    for tap in taps:
+        feedback_mask |= 1 << (tap - 1)
+    return taps, seed, mask, feedback_mask
+
+
 class LFSR:
     """Galois (internal-XOR) linear feedback shift register.
 
@@ -76,32 +124,13 @@ class LFSR:
         taps: Sequence[int] | None = None,
         seed: int | None = None,
     ):
-        if width < 2:
-            raise ValueError("LFSR width must be at least 2")
-        if taps is None:
-            if width not in PRIMITIVE_TAPS:
-                raise ValueError(
-                    f"no primitive polynomial tabulated for width {width}; "
-                    "pass taps explicitly"
-                )
-            taps = PRIMITIVE_TAPS[width]
-        taps = tuple(sorted(set(taps), reverse=True))
-        if any(t < 1 or t > width for t in taps):
-            raise ValueError(f"tap positions must lie in 1..{width}: {taps}")
-        self.width = width
-        self.taps = taps
-        mask = (1 << width) - 1
-        if seed is None:
-            seed = mask
-        seed &= mask
-        if seed == 0:
-            raise ValueError("LFSR seed must be non-zero")
-        self._mask = mask
         # Galois feedback mask: one bit per polynomial term x**t (the constant
         # term corresponds to the bit shifted out and is not part of the mask).
-        self._feedback_mask = 0
-        for tap in taps:
-            self._feedback_mask |= 1 << (tap - 1)
+        taps, seed, mask, feedback_mask = resolve_lfsr_config(width, taps, seed)
+        self.width = width
+        self.taps = taps
+        self._mask = mask
+        self._feedback_mask = feedback_mask
         self.state = seed
         self._initial_state = seed
 

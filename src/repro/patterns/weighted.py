@@ -25,6 +25,7 @@ __all__ = [
     "WeightedPatternGenerator",
     "LfsrWeightedPatternGenerator",
     "equiprobable_weights",
+    "lfsr_thresholds",
     "validate_weights",
 ]
 
@@ -42,6 +43,38 @@ def validate_weights(weights: Sequence[float]) -> np.ndarray:
     if np.any(array < 0.0) or np.any(array > 1.0):
         raise ValueError("weights must lie in [0, 1]")
     return array
+
+
+def stream_pattern_chunks(generator, n_patterns: int, chunk: int):
+    """Yield ``generator.generate`` matrices of at most ``chunk`` rows.
+
+    The shared ``generate_stream`` implementation of every pattern generator
+    (software, scalar LFSR and compiled LFSR): consecutive chunks continue
+    the generator's stream, so concatenating them equals one big
+    ``generate(n_patterns)`` call.
+    """
+    if chunk < 1:
+        raise ValueError("chunk must be at least 1")
+    remaining = n_patterns
+    while remaining > 0:
+        take = min(chunk, remaining)
+        yield generator.generate(take)
+        remaining -= take
+
+
+def lfsr_thresholds(weights: np.ndarray, resolution: int) -> np.ndarray:
+    """Integer compare thresholds of a ``resolution``-bit weighting network.
+
+    A weight ``w`` maps to the threshold ``round(w * 2**resolution)``,
+    clamped to the *interior* grid ``1 .. 2**resolution - 1``: a threshold of
+    0 or ``2**resolution`` would pin the input to a constant, making its
+    stuck-at fault untestable (Lemma 2 of the paper) — the same convention as
+    :func:`repro.core.quantize.quantize_to_lfsr_grid` with
+    ``keep_interior=True``.
+    """
+    scale = 1 << resolution
+    raw = np.rint(np.asarray(weights, dtype=float) * scale).astype(int)
+    return np.clip(raw, 1, scale - 1)
 
 
 class WeightedPatternGenerator:
@@ -75,11 +108,7 @@ class WeightedPatternGenerator:
 
     def generate_stream(self, n_patterns: int, chunk: int = 4096):
         """Yield pattern matrices of at most ``chunk`` rows until ``n_patterns``."""
-        remaining = n_patterns
-        while remaining > 0:
-            take = min(chunk, remaining)
-            yield self.generate(take)
-            remaining -= take
+        return stream_pattern_chunks(self, n_patterns, chunk)
 
 
 class LfsrWeightedPatternGenerator:
@@ -87,9 +116,14 @@ class LfsrWeightedPatternGenerator:
 
     Every output bit consumes ``resolution`` successive LFSR bits, interprets
     them as a binary fraction ``r / 2**resolution`` and outputs 1 when
-    ``r < round(weight * 2**resolution)``.  This mirrors a hardware weighting
-    network: achievable weights are multiples of ``2**-resolution`` and the
-    source of randomness is a single maximal-length LFSR.
+    ``r < threshold`` (see :func:`lfsr_thresholds`).  This mirrors a hardware
+    weighting network: achievable weights are multiples of ``2**-resolution``
+    clamped to the interior of the grid, and the source of randomness is a
+    single maximal-length LFSR.
+
+    This is the scalar reference; the vectorized implementation is
+    :class:`repro.patterns.compiled.CompiledLfsrWeightedPatternGenerator`
+    (bit-identical for the same seed/resolution).
     """
 
     def __init__(
@@ -103,12 +137,26 @@ class LfsrWeightedPatternGenerator:
             raise ValueError("resolution must be between 1 and 16 bits")
         self.weights = validate_weights(weights)
         self.resolution = resolution
-        self.thresholds = np.rint(self.weights * (1 << resolution)).astype(int)
-        self._lfsr = LFSR(lfsr_width, seed=seed)
+        self.thresholds = lfsr_thresholds(self.weights, resolution)
+        self._lfsr = self._make_lfsr(lfsr_width, seed)
+
+    def _make_lfsr(self, width: int, seed: int | None) -> LFSR:
+        """The bit source; the compiled subclass swaps in the block LFSR."""
+        return LFSR(width, seed=seed)
+
+    def _bit_stream(self, n_bits: int) -> np.ndarray:
+        """The next ``n_bits`` LFSR bits as a ``uint8`` array."""
+        return np.fromiter(
+            (self._lfsr.step() for _ in range(n_bits)), dtype=np.uint8, count=n_bits
+        )
 
     @property
     def n_inputs(self) -> int:
         return int(self.weights.size)
+
+    def reset(self) -> None:
+        """Restart the pattern stream from the LFSR seed."""
+        self._lfsr.reset()
 
     def realized_weights(self) -> np.ndarray:
         """The weights actually produced after quantization."""
@@ -116,11 +164,15 @@ class LfsrWeightedPatternGenerator:
 
     def generate(self, n_patterns: int) -> np.ndarray:
         """Generate ``n_patterns`` patterns as a boolean matrix."""
+        if n_patterns < 0:
+            raise ValueError("n_patterns must be non-negative")
         n_bits = n_patterns * self.n_inputs * self.resolution
-        stream = np.fromiter(
-            (self._lfsr.step() for _ in range(n_bits)), dtype=np.uint8, count=n_bits
-        )
+        stream = self._bit_stream(n_bits)
         groups = stream.reshape(n_patterns, self.n_inputs, self.resolution)
         powers = 1 << np.arange(self.resolution - 1, -1, -1)
         values = (groups * powers).sum(axis=2)
         return values < self.thresholds[None, :]
+
+    def generate_stream(self, n_patterns: int, chunk: int = 4096):
+        """Yield pattern matrices of at most ``chunk`` rows until ``n_patterns``."""
+        return stream_pattern_chunks(self, n_patterns, chunk)

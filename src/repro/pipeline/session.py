@@ -1,9 +1,11 @@
-"""The pipeline façade: analyze → optimize → quantize → fault-simulate.
+"""The pipeline façade: analyze → optimize → quantize → fault-simulate → self-test.
 
 The paper's workflow is a pipeline — testability analysis (COP), input
-probability optimization, quantization to a realisable weight grid, and
-fault-simulated validation.  :class:`Session` runs that pipeline for one or
-many circuits with the expensive intermediates shared across stages:
+probability optimization, quantization to a realisable weight grid,
+fault-simulated validation, and finally the weighted-random *self test* of
+section 5.2 (LFSR weighting network + MISR signature, the
+:meth:`Session.self_test` stage).  :class:`Session` runs that pipeline for
+one or many circuits with the expensive intermediates shared across stages:
 
 * the **lowered-circuit IR** (:mod:`repro.lowered`) is compiled exactly once
   per circuit and consumed by every stage (the analysis engine, the
@@ -46,8 +48,14 @@ from ..faults.collapse import collapsed_fault_list
 from ..faults.model import Fault
 from ..faultsim.coverage import CoverageExperiment, random_pattern_coverage
 from ..lowered import LoweredCircuit, compile_count, compile_lowered
+from ..patterns.bilbo import SelfTestReport, SelfTestSession
 
 __all__ = ["Session", "PipelineReport"]
+
+#: Cached BIST sessions kept per circuit (LRU).  Each session pins its
+#: pattern matrix and fault-free net values, so the cache is bounded — unlike
+#: coverage experiments, which only hold detection indices.
+_SELFTEST_CACHE_LIMIT = 8
 
 
 @dataclass
@@ -119,6 +127,7 @@ class _Entry:
     baseline_probs: Optional[np.ndarray] = None
     optimization: Optional[OptimizationResult] = None
     coverage_cache: Dict[Tuple, CoverageExperiment] = field(default_factory=dict)
+    selftest_cache: Dict[Tuple, SelfTestSession] = field(default_factory=dict)
 
 
 class Session:
@@ -346,19 +355,30 @@ class Session:
         seed: Optional[int] = None,
         batch_size: int = 2048,
         fault_group: Optional[int] = None,
+        target_coverage: Optional[float] = None,
     ) -> CoverageExperiment:
         """Fault-simulate ``n_patterns`` (weighted) random patterns (cached).
 
         ``weights=None`` is the conventional equiprobable test.  Results are
-        cached per ``(n_patterns, weights, seed)`` so a report regenerated
-        twice does not repeat the simulation; the underlying compiled engine
-        is shared with every other stage through the lowered IR.
+        cached per ``(n_patterns, weights, seed, target_coverage)`` so a
+        report regenerated twice does not repeat the simulation; the
+        underlying compiled engine is shared with every other stage through
+        the lowered IR.  Patterns are streamed chunkwise (never materialized
+        as one matrix); ``target_coverage`` stops the stream early once that
+        coverage fraction is reached.
         """
         entry = self._entry(key)
         self.lowered(key)
         seed = self.seed if seed is None else seed
         weight_key = None if weights is None else tuple(float(w) for w in weights)
-        cache_key = (int(n_patterns), weight_key, int(seed), int(batch_size), fault_group)
+        cache_key = (
+            int(n_patterns),
+            weight_key,
+            int(seed),
+            int(batch_size),
+            fault_group,
+            target_coverage,
+        )
         cached = entry.coverage_cache.get(cache_key)
         if cached is None:
             cached = random_pattern_coverage(
@@ -369,9 +389,93 @@ class Session:
                 seed=seed,
                 batch_size=batch_size,
                 fault_group=fault_group,
+                target_coverage=target_coverage,
             )
             entry.coverage_cache[cache_key] = cached
         return cached
+
+    # ------------------------------------------------------------------ #
+    # Stage 5: self test (BILBO / signature analysis)
+    # ------------------------------------------------------------------ #
+    def self_test_session(
+        self,
+        key: str,
+        n_patterns: int,
+        weights: Optional[Sequence[float]] = None,
+        use_lfsr: bool = False,
+        misr_width: Optional[int] = None,
+        misr_taps: Optional[Sequence[int]] = None,
+        seed: Optional[int] = None,
+    ) -> SelfTestSession:
+        """The (cached) BIST session for a registered circuit.
+
+        The session runs on the compiled BIST substrate
+        (:mod:`repro.patterns.compiled`) and on the same lowered IR as every
+        other stage; its pattern matrix, fault-free responses and golden
+        signature are computed once and shared by every
+        :meth:`self_test` call with the same parameters.
+        """
+        entry = self._entry(key)
+        self.lowered(key)
+        seed = self.seed if seed is None else seed
+        weight_key = None if weights is None else tuple(float(w) for w in weights)
+        taps_key = None if misr_taps is None else tuple(misr_taps)
+        cache_key = (
+            int(n_patterns),
+            weight_key,
+            bool(use_lfsr),
+            misr_width,
+            taps_key,
+            int(seed),
+        )
+        session = entry.selftest_cache.pop(cache_key, None)
+        if session is None:
+            session = SelfTestSession(
+                entry.circuit,
+                n_patterns,
+                weights=weights,
+                use_lfsr=use_lfsr,
+                misr_width=misr_width,
+                misr_taps=misr_taps,
+                seed=seed,
+            )
+        # (Re-)insert as most recently used; a session pins its pattern and
+        # fault-free value matrices, so the cache is LRU-bounded.
+        entry.selftest_cache[cache_key] = session
+        while len(entry.selftest_cache) > _SELFTEST_CACHE_LIMIT:
+            entry.selftest_cache.pop(next(iter(entry.selftest_cache)))
+        return session
+
+    def self_test(
+        self,
+        key: str,
+        n_patterns: int,
+        weights: Optional[Sequence[float]] = None,
+        use_lfsr: bool = False,
+        misr_width: Optional[int] = None,
+        misr_taps: Optional[Sequence[int]] = None,
+        seed: Optional[int] = None,
+        fault: Optional[Fault] = None,
+    ) -> SelfTestReport:
+        """Run a (weighted) self test, optionally with a fault injected.
+
+        ``weights`` would typically be :meth:`quantized_weights` mapped onto
+        the LFSR grid — the paper's section 5.2 flow.  Repeated calls with
+        different ``fault`` arguments reuse the cached session (patterns,
+        fault-free simulation and golden signature are computed once).
+        Circuits with more primary outputs than the largest tabulated MISR
+        width need an explicit ``misr_width`` plus ``misr_taps``.
+        """
+        session = self.self_test_session(
+            key,
+            n_patterns,
+            weights=weights,
+            use_lfsr=use_lfsr,
+            misr_width=misr_width,
+            misr_taps=misr_taps,
+            seed=seed,
+        )
+        return session.run(fault)
 
     # ------------------------------------------------------------------ #
     # The full pipeline

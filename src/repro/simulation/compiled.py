@@ -218,33 +218,16 @@ class CompiledCircuit:
     # ------------------------------------------------------------------ #
     # Fault-parallel x pattern-parallel detection
     # ------------------------------------------------------------------ #
-    def fault_batch_detection(
-        self,
-        faults: Sequence[Fault],
-        good: np.ndarray,
-        n_words: int,
-        valid_mask: Optional[np.ndarray] = None,
+    def _fault_values(
+        self, faults: Sequence[Fault], good: np.ndarray, n_words: int
     ) -> np.ndarray:
-        """Detection words for a group of faults against one pattern batch.
+        """Net values with every fault of the group injected into its block.
 
-        Args:
-            faults: the faults simulated simultaneously (one column block of
-                ``n_words`` words each).
-            good: fault-free net values ``(n_nets, n_words)`` from
-                :meth:`simulate_words`.
-            n_words: number of 64-pattern words in the batch.
-            valid_mask: optional per-word mask of valid pattern bits.
-
-        Returns:
-            ``uint64`` array ``(len(faults), n_words)``; bit ``p % 64`` of
-            word ``p // 64`` of row ``i`` is 1 iff pattern ``p`` detects
-            ``faults[i]``.
+        Returns the wide value matrix ``(n_nets, len(faults) * n_words)`` in
+        which fault ``fi`` owns the column block
+        ``[fi * n_words, (fi + 1) * n_words)``.
         """
         n_faults = len(faults)
-        if n_faults == 0:
-            return np.zeros((0, n_words), dtype=np.uint64)
-
-        # Every fault owns the column block [fi*n_words, (fi+1)*n_words).
         values = np.tile(good, (1, n_faults))
         cols = [slice(fi * n_words, (fi + 1) * n_words) for fi in range(n_faults)]
         stuck = [_ALL_ONES if f.stuck_value else _ZERO for f in faults]
@@ -307,7 +290,34 @@ class CompiledCircuit:
                 pos = int(np.searchsorted(sel_ids, writer))
                 if pos < sel_ids.size and sel_ids[pos] == writer:
                     values[net, col] = stuck_word
+        return values
 
+    def fault_batch_detection(
+        self,
+        faults: Sequence[Fault],
+        good: np.ndarray,
+        n_words: int,
+        valid_mask: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Detection words for a group of faults against one pattern batch.
+
+        Args:
+            faults: the faults simulated simultaneously (one column block of
+                ``n_words`` words each).
+            good: fault-free net values ``(n_nets, n_words)`` from
+                :meth:`simulate_words`.
+            n_words: number of 64-pattern words in the batch.
+            valid_mask: optional per-word mask of valid pattern bits.
+
+        Returns:
+            ``uint64`` array ``(len(faults), n_words)``; bit ``p % 64`` of
+            word ``p // 64`` of row ``i`` is 1 iff pattern ``p`` detects
+            ``faults[i]``.
+        """
+        n_faults = len(faults)
+        if n_faults == 0:
+            return np.zeros((0, n_words), dtype=np.uint64)
+        values = self._fault_values(faults, good, n_words)
         if self.outputs.size == 0:
             detection = np.zeros((n_faults, n_words), dtype=np.uint64)
         else:
@@ -319,6 +329,31 @@ class CompiledCircuit:
         if valid_mask is not None:
             detection &= valid_mask[None, :]
         return detection
+
+    def fault_output_words(
+        self, faults: Sequence[Fault], good: np.ndarray, n_words: int
+    ) -> np.ndarray:
+        """Primary-output values of the faulty circuits, one block per fault.
+
+        The word-domain faulty *responses* (not just detection bits) — what a
+        signature register compacts during self test.
+
+        Args:
+            faults: the faults simulated simultaneously.
+            good: fault-free net values ``(n_nets, n_words)`` from
+                :meth:`simulate_words`.
+            n_words: number of 64-pattern words in the batch.
+
+        Returns:
+            ``uint64`` array ``(n_outputs, len(faults), n_words)``; row
+            ``(o, i)`` holds output ``o``'s values with ``faults[i]``
+            injected.
+        """
+        n_faults = len(faults)
+        if n_faults == 0:
+            return np.zeros((self.outputs.size, 0, n_words), dtype=np.uint64)
+        values = self._fault_values(faults, good, n_words)
+        return values[self.outputs].reshape(self.outputs.size, n_faults, n_words)
 
 
 def compile_circuit(circuit: Circuit) -> CompiledCircuit:

@@ -39,6 +39,26 @@ class TestQuantizeWeights:
         with pytest.raises(ValueError):
             quantize_weights([0.5], step=0.05, bounds=(0.9, 0.1))
 
+    def test_grid_values_are_exact_decimals(self):
+        """Snapping must not leak binary FP drift: 7 * 0.05 alone is
+        0.35000000000000003, but the appendix grid value is exactly 0.35."""
+        snapped = quantize_weights([0.34, 0.36, 0.349, 0.351], step=0.05)
+        assert snapped.tolist() == [0.35, 0.35, 0.35, 0.35]
+        grid = {round(k * 0.05, 12) for k in range(1, 20)}
+        weights = np.linspace(0.0, 1.0, 101)
+        for value in quantize_weights(weights, step=0.05):
+            assert value in grid, value
+
+    def test_exactness_on_tenth_grid(self):
+        snapped = quantize_weights([0.29, 0.31, 0.69], step=0.1, bounds=(0.1, 0.9))
+        assert snapped.tolist() == [0.3, 0.3, 0.7]
+
+    def test_non_decimal_steps_stay_on_the_binary_grid(self):
+        """The decimal snap must not perturb grids whose points are not
+        short decimals: for step = 1/3 the grid value is exactly 2 * step."""
+        snapped = quantize_weights([0.6667], step=1.0 / 3.0, bounds=(0.0, 1.0))
+        assert snapped[0] == 2.0 * (1.0 / 3.0)
+
 
 class TestLfsrGrid:
     def test_grid_resolution(self):

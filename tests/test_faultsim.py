@@ -213,3 +213,96 @@ class TestCoverageExperiment:
         first = random_pattern_coverage(circuit, 256, seed=21)
         second = random_pattern_coverage(circuit, 256, seed=21)
         assert first.result.first_detection == second.result.first_detection
+
+
+class TestStreamingCoverage:
+    """The streamed coverage path must be indistinguishable from materializing
+    the full pattern matrix, and the early stop must honour its target."""
+
+    def test_chunked_generator_stream_equals_one_shot_draw(self):
+        from repro.patterns import WeightedPatternGenerator
+
+        generator = WeightedPatternGenerator([0.3, 0.5, 0.9], seed=17)
+        one_shot = generator.generate(1000)
+        generator.reset()
+        chunked = np.vstack(list(generator.generate_stream(1000, chunk=173)))
+        assert np.array_equal(one_shot, chunked)
+
+    def test_non_positive_chunk_rejected(self):
+        from repro.patterns import WeightedPatternGenerator
+
+        generator = WeightedPatternGenerator([0.5], seed=1)
+        with pytest.raises(ValueError):
+            list(generator.generate_stream(100, chunk=0))
+        circuit = half_adder_circuit()
+        with pytest.raises(ValueError):
+            random_pattern_coverage(circuit, 100, chunk_size=0)
+
+    @pytest.mark.parametrize("chunk_size", [37, 256, 4096])
+    def test_stream_matches_materialized_run(self, chunk_size):
+        from repro.patterns import WeightedPatternGenerator
+
+        circuit = comparator_circuit(width=6)
+        faults = collapsed_fault_list(circuit)
+        generator = WeightedPatternGenerator([0.5] * circuit.n_inputs, seed=21)
+        patterns = generator.generate(600)
+        materialized = ParallelFaultSimulator(circuit, faults).run(
+            patterns, batch_size=128
+        )
+        generator.reset()
+        streamed = ParallelFaultSimulator(circuit, faults).run_stream(
+            generator.generate_stream(600, chunk=chunk_size), batch_size=128
+        )
+        assert streamed.first_detection == materialized.first_detection
+        assert streamed.n_patterns == materialized.n_patterns == 600
+
+    @pytest.mark.parametrize("chunk_size", [100, 2048])
+    def test_random_pattern_coverage_identical_across_chunk_sizes(self, chunk_size):
+        circuit = comparator_circuit(width=6)
+        baseline = random_pattern_coverage(circuit, 512, seed=3)
+        chunked = random_pattern_coverage(circuit, 512, seed=3, chunk_size=chunk_size)
+        assert chunked.result.first_detection == baseline.result.first_detection
+        assert chunked.fault_coverage == baseline.fault_coverage
+        assert chunked.n_patterns == baseline.n_patterns == 512
+
+    def test_full_stream_consumed_even_after_all_faults_detected(self):
+        # Every fault of the half adder is detected by the first four
+        # patterns; without an explicit target the stream must still be
+        # consumed so n_patterns matches the materialized path.
+        circuit = half_adder_circuit()
+        experiment = random_pattern_coverage(circuit, 512, seed=1, chunk_size=64)
+        assert experiment.fault_coverage == 1.0
+        assert experiment.n_patterns == 512
+
+    def test_target_coverage_stops_early(self):
+        circuit = comparator_circuit(width=6)
+        full = random_pattern_coverage(circuit, 2048, seed=3, chunk_size=128)
+        assert full.fault_coverage > 0.8
+        early = random_pattern_coverage(
+            circuit, 2048, seed=3, chunk_size=128, target_coverage=0.8
+        )
+        assert early.fault_coverage >= 0.8
+        assert early.n_patterns < full.n_patterns
+        assert early.n_patterns % 128 == 0  # stops at a chunk boundary
+        # The patterns that were applied saw identical detection indices.
+        for fault, index in early.result.first_detection.items():
+            assert full.result.first_detection[fault] == index
+
+    def test_unreachable_target_consumes_whole_stream(self):
+        from .helpers import redundant_circuit
+
+        circuit = redundant_circuit()
+        faults = collapsed_fault_list(circuit)
+        experiment = random_pattern_coverage(
+            circuit, 256, faults=faults, seed=5, chunk_size=64, target_coverage=1.0
+        )
+        assert experiment.fault_coverage < 1.0
+        assert experiment.n_patterns == 256
+
+    def test_target_reached_in_first_chunk(self):
+        circuit = half_adder_circuit()
+        experiment = random_pattern_coverage(
+            circuit, 4096, seed=1, chunk_size=32, target_coverage=1.0
+        )
+        assert experiment.fault_coverage == 1.0
+        assert experiment.n_patterns == 32

@@ -196,6 +196,107 @@ class TestStageEquivalence:
         assert batched.required_length(kb) == scalar.required_length(ks)
 
 
+class TestSelfTestStage:
+    def test_matches_direct_session(self):
+        from repro import SelfTestSession
+
+        circuit = s1_comparator(width=4)
+        session = _small_session()
+        key = session.add(circuit)
+        fault = session.faults(key)[0]
+        via_pipeline = session.self_test(key, 128, seed=7, fault=fault)
+        direct = SelfTestSession(circuit, 128, seed=7).run(fault)
+        assert via_pipeline == direct
+        assert session.self_test(key, 128, seed=7).passed
+
+    def test_session_cached_across_faults(self):
+        session = _small_session()
+        key = session.add(s1_comparator(width=4))
+        bist = session.self_test_session(key, 64, seed=3)
+        assert session.self_test_session(key, 64, seed=3) is bist
+        # Different parameters get a fresh session.
+        assert session.self_test_session(key, 64, seed=4) is not bist
+        assert session.self_test_session(key, 64, seed=3, use_lfsr=True) is not bist
+
+    def test_session_cache_is_lru_bounded(self):
+        from repro.pipeline.session import _SELFTEST_CACHE_LIMIT
+
+        session = _small_session()
+        key = session.add(s1_comparator(width=4))
+        first = session.self_test_session(key, 32, seed=0)
+        for seed in range(1, _SELFTEST_CACHE_LIMIT + 1):
+            session.self_test_session(key, 32, seed=seed)
+        cache = session._entry(key).selftest_cache
+        assert len(cache) == _SELFTEST_CACHE_LIMIT
+        # The oldest entry (seed=0) was evicted; a repeat builds a new one.
+        assert session.self_test_session(key, 32, seed=0) is not first
+        # A cache hit refreshes recency instead of duplicating the entry.
+        hit = session.self_test_session(key, 32, seed=5)
+        assert session.self_test_session(key, 32, seed=5) is hit
+        assert len(session._entry(key).selftest_cache) == _SELFTEST_CACHE_LIMIT
+
+    def test_self_test_stage_reuses_the_lowering(self):
+        from repro.lowered import compile_count
+
+        circuit = alu_circuit(width=2)
+        session = _small_session()
+        key = session.add(circuit)
+        session.detection_probabilities(key)
+        before = compile_count()
+        fault = session.faults(key)[0]
+        session.self_test(key, 64)
+        session.self_test(key, 64, fault=fault)
+        session.self_test(key, 64, use_lfsr=True, weights=[0.75] * circuit.n_inputs)
+        assert compile_count() == before
+
+    def test_misr_taps_escape_hatch_for_wide_circuits(self):
+        """A circuit with more outputs than the largest tabulated MISR width
+        must be testable through the pipeline stage by passing an explicit
+        width + taps, exactly as the ValueError message instructs."""
+        from repro.circuit import CircuitBuilder
+
+        builder = CircuitBuilder("wide")
+        a = builder.input("a")
+        for k in range(65):
+            builder.output(builder.not_(a, name=f"n{k}"), f"o{k}")
+        circuit = builder.build()
+        session = _small_session()
+        key = session.add(circuit, faults=[])
+        with pytest.raises(ValueError, match="misr_width"):
+            session.self_test(key, 8)
+        report = session.self_test(key, 8, misr_width=65, misr_taps=(65, 47))
+        assert report.passed
+
+    def test_weighted_self_test_detects_fault_missed_by_plain(self):
+        """Section 5.2 end to end through the pipeline: the quantized
+        optimized weights expose a random-pattern-resistant fault that the
+        equiprobable session of the same length misses."""
+        from repro import Fault
+
+        circuit = s1_comparator(width=12)
+        session = _small_session(drop_redundant=False)
+        key = session.add(circuit)
+        eq_net = circuit.net_index("a_eq_b")
+        fault = Fault(eq_net, False)  # needs A == B to be excited
+        n_patterns = 200
+        plain = session.self_test(key, n_patterns, seed=3, fault=fault)
+        weighted = session.self_test(
+            key, n_patterns, weights=[0.9] * circuit.n_inputs, seed=3, fault=fault
+        )
+        assert plain.passed  # fault missed: signature equals golden
+        assert not weighted.passed  # fault detected
+
+    def test_fault_simulate_target_coverage_cached_separately(self):
+        session = _small_session()
+        key = session.add(s1_comparator(width=4))
+        full = session.fault_simulate(key, 512, seed=11)
+        early = session.fault_simulate(key, 512, seed=11, target_coverage=0.5)
+        assert early is not full
+        assert early.fault_coverage >= 0.5
+        assert early.n_patterns <= full.n_patterns
+        assert session.fault_simulate(key, 512, seed=11, target_coverage=0.5) is early
+
+
 class TestPipelineReport:
     def test_run_produces_consistent_report(self):
         session = _small_session()
