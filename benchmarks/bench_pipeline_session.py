@@ -10,7 +10,11 @@ verifies the compile-reuse contract of the lowered-circuit IR
 * a repeated run performs **zero** additional lowerings, and
 * a *fresh, structurally identical* rebuild of the circuits in a second
   session also performs zero lowerings (the content-addressed cache keyed by
-  :meth:`Circuit.structural_hash`).
+  :meth:`Circuit.structural_hash`), and
+* the job-spec API round trip holds: every ``PipelineReport`` survives
+  ``to_dict`` → ``json`` → ``from_dict`` with an identical canonical dict,
+  and the session's declarative ``Session.spec`` equals its own JSON round
+  trip (the artifact seam the CLI and the batch executor rely on).
 
 Two entry points:
 
@@ -31,9 +35,10 @@ try:
 except ImportError:  # pragma: no cover - fresh clone without `pip install -e .`
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.api import PipelineSpec
 from repro.circuits import build_circuit
 from repro.lowered import compile_count, lowered_cache_info
-from repro.pipeline import Session
+from repro.pipeline import PipelineReport, Session
 
 #: Default workload: the two smallest substituted ISCAS-class circuits (fast
 #: enough for CI) — override with --circuits.
@@ -59,6 +64,18 @@ def run_session_check(keys, n_patterns, max_sweeps):
     first_run_seconds = time.perf_counter() - start
     first_run_lowerings = compile_count() - before
 
+    # Job-spec API round trips: report → JSON → report and spec → JSON →
+    # spec must be exact (the seam the CLI artifacts and run_jobs use).
+    roundtrip_failures = []
+    for report in reports:
+        wire = json.loads(json.dumps(report.to_dict()))
+        if PipelineReport.from_dict(wire).canonical_dict() != report.canonical_dict():
+            roundtrip_failures.append(f"{report.key}: report JSON round trip drifted")
+    for key in keys:
+        spec = session.spec(key, n_patterns=n_patterns)
+        if PipelineSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) != spec:
+            roundtrip_failures.append(f"{key}: spec JSON round trip drifted")
+
     start = time.perf_counter()
     session.run(n_patterns=n_patterns)
     second_run_seconds = time.perf_counter() - start
@@ -78,6 +95,7 @@ def run_session_check(keys, n_patterns, max_sweeps):
         "circuits": keys,
         "n_patterns": n_patterns,
         "max_sweeps": max_sweeps,
+        "roundtrip_failures": roundtrip_failures,
         "first_run_lowerings": first_run_lowerings,
         "second_run_lowerings": second_run_lowerings,
         "rebuilt_session_lowerings": rebuilt_lowerings,
@@ -101,8 +119,8 @@ def run_session_check(keys, n_patterns, max_sweeps):
 
 
 def check_reuse(result) -> list:
-    """Return the list of violated compile-reuse invariants (empty = pass)."""
-    failures = []
+    """Return the list of violated invariants (empty = pass)."""
+    failures = list(result.get("roundtrip_failures", []))
     n = len(result["circuits"])
     if result["first_run_lowerings"] > n:
         failures.append(

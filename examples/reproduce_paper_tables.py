@@ -1,24 +1,38 @@
 #!/usr/bin/env python3
-"""Regenerate every table and figure of the paper in one run.
+"""Regenerate every table and figure of the paper in one batch run.
 
-This drives the experiment runners in :mod:`repro.experiments` back to back
-and prints the reproduction of Tables 1-5, Figure 2 and the appendix weight
-listings, each with the paper's published numbers alongside the measured ones.
-The same runners back the pytest-benchmark suite in ``benchmarks/``; this
-script is the "just show me everything" entry point.
+Since the job-spec API this script is a *declarative* sweep: it builds one
+:class:`repro.api.PipelineSpec` per benchmark circuit
+(:func:`repro.experiments.suite_specs` — analysis for all twelve, the full
+optimize → quantize → fault-simulate pipeline for the starred hard
+circuits), fans the batch out over worker processes with
+:func:`repro.api.run_jobs`, and folds the streamed
+:class:`~repro.PipelineReport` artifacts back into Tables 1-5, Figure 2 and
+the appendix weight listings — each with the paper's published numbers
+alongside the measured ones.
 
-Run with ``python examples/reproduce_paper_tables.py``; expect a few minutes
-(the dominant cost is fault-simulating 12 000 patterns on the divider twice).
-Pass ``--quick`` to skip the fault-simulation tables (2, 4 and Figure 2).
+Run with ``python examples/reproduce_paper_tables.py``; expect a few
+minutes (the dominant cost is fault-simulating 12 000 patterns on the
+comparator and divider twice — with ``--parallelism`` ≥ 2 the hard circuits
+overlap).  Options:
+
+* ``--quick`` skips the fault-simulation stages (Tables 2, 4 and Figure 2),
+* ``--parallelism N`` sets the worker-process count (default 2, so the
+  sweep exercises the parallel executor end to end; 1 = serial in-process),
+* ``--json PATH`` additionally writes every report as one ``report_batch``
+  artifact that reloads via :func:`repro.load_artifact`.
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
+import json
 import time
 
+from repro.api import report_batch_dict, run_jobs
 from repro.experiments import (
-    experiment_session,
+    appendix_listings,
+    figure2_data,
     format_appendix,
     format_figure2,
     format_table1,
@@ -26,40 +40,58 @@ from repro.experiments import (
     format_table3,
     format_table4,
     format_table5,
-    run_appendix,
-    run_figure2,
-    run_table1,
-    run_table2,
-    run_table3,
-    run_table4,
-    run_table5,
+    suite_specs,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+    table4_rows,
+    table5_rows,
 )
 
 
-def _timed(label: str, runner, formatter) -> None:
+def main(quick: bool = False, parallelism: int = 2, json_path: str = "") -> None:
+    specs = suite_specs(include_fault_sim=not quick)
+    print(
+        f"executing {len(specs)} pipeline specs with parallelism={parallelism} ..."
+    )
     start = time.perf_counter()
-    rows = runner()
-    print(formatter(rows))
-    print(f"[{label} regenerated in {time.perf_counter() - start:.1f} s]")
+    reports = run_jobs(specs, parallelism=parallelism)
+    print(f"[batch finished in {time.perf_counter() - start:.1f} s]")
     print()
 
+    print(format_table1(table1_rows(reports)))
+    print()
+    if not quick:
+        print(format_table2(table2_rows(reports)))
+        print()
+    print(format_table3(table3_rows(reports)))
+    print()
+    if not quick:
+        print(format_table4(table4_rows(reports)))
+        print()
+    print(format_table5(table5_rows(reports)))
+    print()
+    figure2 = figure2_data(reports)
+    if figure2 is not None:
+        print(format_figure2(figure2))
+        print()
+    print(format_appendix(appendix_listings(reports)))
 
-def main(quick: bool = False) -> None:
-    _timed("Table 1", run_table1, format_table1)
-    if not quick:
-        _timed("Table 2", run_table2, format_table2)
-    _timed("Table 3", run_table3, format_table3)
-    if not quick:
-        _timed("Table 4", run_table4, format_table4)
-    _timed("Table 5", run_table5, format_table5)
-    if not quick:
-        _timed("Figure 2", run_figure2, format_figure2)
-    _timed("Appendix", run_appendix, format_appendix)
-    session = experiment_session()
-    print(f"[{len(session.keys())} circuits lowered "
-          f"{session.total_lowerings} times across all tables — one compiled "
-          "lowering per circuit, shared by every stage]")
+    lowerings = sum(report.lowerings for report in reports)
+    print(
+        f"\n[{len(reports)} circuits, {lowerings} lowerings across all workers — "
+        "at most one compiled lowering per circuit structure per worker]"
+    )
+    if json_path:
+        with open(json_path, "w") as handle:
+            json.dump(report_batch_dict(reports), handle, indent=2)
+        print(f"[wrote {json_path}]")
 
 
 if __name__ == "__main__":
-    main(quick="--quick" in sys.argv[1:])
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--parallelism", type=int, default=2)
+    parser.add_argument("--json", default="", metavar="PATH")
+    args = parser.parse_args()
+    main(quick=args.quick, parallelism=args.parallelism, json_path=args.json)

@@ -18,17 +18,21 @@ The package is organised by subsystem:
 * :mod:`repro.lowered` — the shared lowered-circuit IR every compiled engine
   consumes, with content-addressed cached compilation.
 * :mod:`repro.patterns` — LFSR/MISR/BILBO and weighted pattern generation.
-* :mod:`repro.pipeline` — the :class:`Session` façade running
-  analyze → optimize → quantize → fault-simulate with one lowering per circuit.
+* :mod:`repro.api` — the job-spec API: declarative :class:`PipelineSpec`
+  (typed stage configs, JSON round trips), :func:`execute_spec`, the
+  parallel :func:`run_jobs` batch executor and the artifact loader behind
+  the ``python -m repro`` CLI.
+* :mod:`repro.pipeline` — the :class:`Session` convenience layer: builds
+  specs from loose kwargs, delegates to the executor, caches one lowering
+  per circuit.
 * :mod:`repro.experiments` — runners that regenerate every table and figure.
 
 Typical use::
 
-    from repro import optimize_input_probabilities, s1_comparator
+    from repro import PipelineSpec, execute_spec
 
-    circuit = s1_comparator()
-    result = optimize_input_probabilities(circuit, confidence=0.999)
-    print(result.test_length, result.weight_map)
+    report = execute_spec(PipelineSpec(circuit="s1"))
+    print(report.summary())
 """
 
 from .circuit import Circuit, CircuitBuilder, GateType, parse_bench, write_bench
@@ -75,9 +79,23 @@ from .patterns import (
     WeightedPatternGenerator,
     golden_signature,
 )
+from .api import (
+    AnalysisConfig,
+    FaultSimConfig,
+    OptimizeConfig,
+    PipelineSpec,
+    QuantizeConfig,
+    SchemaError,
+    SelfTestConfig,
+    derive_seed,
+    execute_spec,
+    iter_jobs,
+    load_artifact,
+    run_jobs,
+)
 from .pipeline import PipelineReport, Session
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -125,6 +143,18 @@ __all__ = [
     "golden_signature",
     "LoweredCircuit",
     "compile_lowered",
+    "AnalysisConfig",
+    "OptimizeConfig",
+    "QuantizeConfig",
+    "FaultSimConfig",
+    "SelfTestConfig",
+    "PipelineSpec",
+    "SchemaError",
+    "derive_seed",
+    "execute_spec",
+    "run_jobs",
+    "iter_jobs",
+    "load_artifact",
     "Session",
     "PipelineReport",
 ]

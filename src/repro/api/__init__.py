@@ -1,0 +1,60 @@
+"""The job-spec API: declarative specs in, schema'd artifacts out.
+
+The public seam of the reproduction, decoupling *description* from
+*execution*:
+
+* :mod:`repro.api.spec` — frozen per-stage configs
+  (:class:`AnalysisConfig`, :class:`OptimizeConfig`, :class:`QuantizeConfig`,
+  :class:`FaultSimConfig`, :class:`SelfTestConfig`) composed into a
+  :class:`PipelineSpec` (circuit reference + root seed with deterministic
+  per-stage seed derivation), all with validated JSON round trips;
+* :mod:`repro.api.executor` — :func:`execute_spec` runs one spec and
+  produces a :class:`~repro.pipeline.session.PipelineReport` artifact;
+* :mod:`repro.api.jobs` — :func:`run_jobs` / :func:`iter_jobs` fan a spec
+  batch out over a process pool (per-worker compile caches, streamed
+  results, bit-identical to the serial path);
+* :mod:`repro.api.artifacts` — :func:`load_artifact` rebuilds any artifact
+  dict written by the executor or the ``python -m repro`` CLI;
+* :mod:`repro.api.serialize` — the shared wire format
+  (:data:`SCHEMA_VERSION`, :class:`SchemaError`, exact numpy round trips).
+
+The stateful :class:`repro.Session` remains as the convenience layer: it
+builds specs from loose kwargs and delegates to this subsystem.
+"""
+
+from .artifacts import load_artifact, report_batch_dict, row_from_dict, row_to_dict
+from .executor import execute_spec, resolve_n_patterns
+from .jobs import JobResult, iter_jobs, run_jobs
+from .serialize import SCHEMA_VERSION, SchemaError
+from .spec import (
+    STAGE_NAMES,
+    AnalysisConfig,
+    FaultSimConfig,
+    OptimizeConfig,
+    PipelineSpec,
+    QuantizeConfig,
+    SelfTestConfig,
+    derive_seed,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "STAGE_NAMES",
+    "AnalysisConfig",
+    "OptimizeConfig",
+    "QuantizeConfig",
+    "FaultSimConfig",
+    "SelfTestConfig",
+    "PipelineSpec",
+    "derive_seed",
+    "execute_spec",
+    "resolve_n_patterns",
+    "JobResult",
+    "run_jobs",
+    "iter_jobs",
+    "load_artifact",
+    "report_batch_dict",
+    "row_to_dict",
+    "row_from_dict",
+]

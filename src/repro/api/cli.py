@@ -1,0 +1,337 @@
+"""``python -m repro`` — the command-line face of the job-spec API.
+
+Four subcommands, all reading declarative specs (from argv flags or JSON
+spec files) and writing JSON artifact files that round-trip through
+:func:`repro.api.load_artifact`:
+
+``run``
+    Execute the pipeline for one or more circuits (registry keys and/or
+    ``--spec file.json``).  One circuit writes a ``pipeline_report``
+    artifact; several write a ``report_batch``.
+
+``sweep``
+    Batch-execute the pipeline over many registry circuits (default: the
+    whole registry) through :func:`repro.api.run_jobs` with configurable
+    ``--parallelism``.
+
+``selftest``
+    Run the BIST stage (optimize → quantize → weighted LFSR self test) for
+    one circuit, optionally with the hardest fault injected.
+
+``tables``
+    Regenerate the paper's tables from one declarative suite sweep
+    (:func:`repro.experiments.batch.suite_specs`) and print them; ``--json``
+    writes the rows as an ``experiment_rows`` artifact.
+
+Examples::
+
+    python -m repro run s1 --json s1.json
+    python -m repro run s1 c7552 --patterns 2000 --parallelism 2 --json out.json
+    python -m repro run --spec myjob.json
+    python -m repro sweep --parallelism 4 --analysis-only --json sweep.json
+    python -m repro selftest s1 --patterns 2000 --inject-hardest
+    python -m repro tables --quick --parallelism 2 --json rows.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from .artifacts import experiment_rows_dict, report_batch_dict
+from .jobs import iter_jobs
+from .spec import (
+    AnalysisConfig,
+    FaultSimConfig,
+    OptimizeConfig,
+    PipelineSpec,
+    QuantizeConfig,
+    SelfTestConfig,
+)
+
+__all__ = ["main"]
+
+
+def _write_artifact(path: Optional[str], data: Dict[str, Any]) -> None:
+    if not path:
+        return
+    Path(path).write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote {path}")
+
+
+def _load_spec_file(path: str) -> PipelineSpec:
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot read spec file {path!r}: {exc}")
+    from .serialize import SchemaError
+
+    try:
+        return PipelineSpec.from_dict(data)
+    except SchemaError as exc:
+        raise SystemExit(f"error: invalid spec file {path!r}: {exc}")
+
+
+def _stage_configs(args: argparse.Namespace) -> Dict[str, Any]:
+    """Translate the shared CLI flags into stage configs."""
+    analysis = AnalysisConfig(
+        confidence=args.confidence,
+        drop_redundant=not getattr(args, "keep_redundant", False),
+    )
+    if getattr(args, "analysis_only", False):
+        return {"analysis": analysis, "optimize": None, "quantize": None, "fault_sim": None}
+    return {
+        "analysis": analysis,
+        "optimize": OptimizeConfig(max_sweeps=args.max_sweeps),
+        "quantize": QuantizeConfig(),
+        "fault_sim": FaultSimConfig(n_patterns=args.patterns),
+    }
+
+
+def _execute_batch(specs: List[PipelineSpec], parallelism: Optional[int]) -> List:
+    """Run a batch, streaming one progress line per finished job."""
+    reports: List = [None] * len(specs)
+    for result in iter_jobs(specs, parallelism=parallelism):
+        reports[result.index] = result.report
+        print(f"[{result.spec.label}] {result.report.summary()}", flush=True)
+    return reports
+
+
+# --------------------------------------------------------------------------- #
+# Subcommands
+# --------------------------------------------------------------------------- #
+def _cmd_run(args: argparse.Namespace) -> int:
+    specs = [_load_spec_file(path) for path in args.spec]
+    stages = _stage_configs(args)
+    for key in args.circuits:
+        specs.append(PipelineSpec(circuit=key, seed=args.seed, **stages))
+    if not specs:
+        print("error: no circuits or --spec files given", file=sys.stderr)
+        return 2
+    reports = _execute_batch(specs, args.parallelism)
+    if len(reports) == 1:
+        _write_artifact(args.json, reports[0].to_dict())
+    else:
+        _write_artifact(args.json, report_batch_dict(reports))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from ..circuits.registry import circuit_keys
+
+    keys = (
+        circuit_keys()
+        if args.circuits in (None, "all")
+        else [key.strip() for key in args.circuits.split(",") if key.strip()]
+    )
+    stages = _stage_configs(args)
+    specs = [PipelineSpec(circuit=key, seed=args.seed, **stages) for key in keys]
+    reports = _execute_batch(specs, args.parallelism)
+    _write_artifact(args.json, report_batch_dict(reports))
+    return 0
+
+
+def _cmd_selftest(args: argparse.Namespace) -> int:
+    weighted = not args.unweighted
+    spec = PipelineSpec(
+        circuit=args.circuit,
+        seed=args.seed,
+        analysis=AnalysisConfig(confidence=args.confidence),
+        optimize=OptimizeConfig(max_sweeps=args.max_sweeps) if weighted else None,
+        quantize=QuantizeConfig() if weighted else None,
+        fault_sim=None,
+        self_test=SelfTestConfig(
+            n_patterns=args.patterns,
+            use_lfsr=not args.prng,
+            weighted=weighted,
+            inject_hardest=args.inject_hardest,
+        ),
+    )
+    reports = _execute_batch([spec], parallelism=1)
+    report = reports[0]
+    self_test = report.self_test
+    print(f"golden signature : 0x{self_test.golden_signature:x}")
+    print(f"test signature   : 0x{self_test.signature:x}")
+    if report.self_test_fault is not None:
+        outcome = "DETECTED" if not self_test.passed else "MISSED"
+        print(f"injected fault   : [{report.self_test_fault.to_list()}] {outcome}")
+    _write_artifact(args.json, report.to_dict())
+    return 0 if (self_test.passed == (report.self_test_fault is None)) else 1
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from ..experiments import (
+        appendix_listings,
+        figure2_data,
+        format_appendix,
+        format_figure2,
+        format_table1,
+        format_table2,
+        format_table3,
+        format_table4,
+        format_table5,
+        suite_specs,
+        table1_rows,
+        table2_rows,
+        table3_rows,
+        table4_rows,
+        table5_rows,
+    )
+
+    specs = suite_specs(
+        seed=args.seed,
+        max_sweeps=args.max_sweeps,
+        n_patterns=args.patterns,
+        include_fault_sim=not args.quick,
+    )
+    reports = _execute_batch(specs, args.parallelism)
+    print()
+    rows: List[Any] = []
+    for build_rows, formatter in (
+        (table1_rows, format_table1),
+        (table2_rows, format_table2),
+        (table3_rows, format_table3),
+        (table4_rows, format_table4),
+        (table5_rows, format_table5),
+    ):
+        table = build_rows(reports)
+        if table:
+            print(formatter(table))
+            print()
+            rows.extend(table)
+    figure2 = figure2_data(reports)
+    if figure2 is not None:
+        print(format_figure2(figure2))
+        print()
+        rows.append(figure2)
+    listings = appendix_listings(reports)
+    if listings:
+        print(format_appendix(listings))
+        rows.extend(listings)
+    _write_artifact(args.json, experiment_rows_dict(rows))
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Argument parsing
+# --------------------------------------------------------------------------- #
+def _add_common(parser: argparse.ArgumentParser, patterns_default=None) -> None:
+    parser.add_argument(
+        "--seed", type=int, default=1987, help="root seed (default: %(default)s)"
+    )
+    parser.add_argument(
+        "--confidence",
+        type=float,
+        default=0.999,
+        help="detection confidence target (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-sweeps",
+        type=int,
+        default=8,
+        help="optimizer sweep budget (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--patterns",
+        type=int,
+        default=patterns_default,
+        help="fault-simulation pattern budget (default: the circuit's paper budget)",
+    )
+    parser.add_argument(
+        "--parallelism",
+        type=int,
+        default=1,
+        help="worker processes for the batch executor (default: serial)",
+    )
+    parser.add_argument("--json", metavar="PATH", help="write the JSON artifact here")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=__doc__.split("\n\n")[0],
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser(
+        "run", help="run the pipeline for circuits and/or spec files"
+    )
+    run.add_argument("circuits", nargs="*", help="benchmark-registry circuit keys")
+    run.add_argument(
+        "--spec",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="JSON pipeline-spec file (repeatable)",
+    )
+    run.add_argument(
+        "--analysis-only", action="store_true", help="skip optimize/quantize/fault-sim"
+    )
+    run.add_argument(
+        "--keep-redundant",
+        action="store_true",
+        help="keep faults proven undetectable in the fault list",
+    )
+    _add_common(run)
+    run.set_defaults(func=_cmd_run)
+
+    sweep = commands.add_parser(
+        "sweep", help="batch-execute the pipeline over registry circuits"
+    )
+    sweep.add_argument(
+        "--circuits",
+        default="all",
+        help="comma-separated registry keys (default: the whole registry)",
+    )
+    sweep.add_argument(
+        "--analysis-only", action="store_true", help="skip optimize/quantize/fault-sim"
+    )
+    sweep.add_argument(
+        "--keep-redundant",
+        action="store_true",
+        help="keep faults proven undetectable in the fault list",
+    )
+    _add_common(sweep)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    selftest = commands.add_parser(
+        "selftest", help="run the BIST self-test stage for one circuit"
+    )
+    selftest.add_argument("circuit", help="benchmark-registry circuit key")
+    selftest.add_argument(
+        "--prng",
+        action="store_true",
+        help="draw patterns from the software PRNG instead of the LFSR network",
+    )
+    selftest.add_argument(
+        "--unweighted",
+        action="store_true",
+        help="equiprobable session (skips the optimize/quantize stages)",
+    )
+    selftest.add_argument(
+        "--inject-hardest",
+        action="store_true",
+        help="re-run with the hardest fault injected and check it is detected",
+    )
+    _add_common(selftest, patterns_default=2_000)
+    selftest.set_defaults(func=_cmd_selftest)
+
+    tables = commands.add_parser(
+        "tables", help="regenerate the paper's tables via the batch executor"
+    )
+    tables.add_argument(
+        "--quick",
+        action="store_true",
+        help="skip the fault-simulation stages (Tables 2/4, Figure 2)",
+    )
+    _add_common(tables)
+    tables.set_defaults(func=_cmd_tables)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)

@@ -1,0 +1,180 @@
+"""Execute one declarative pipeline spec and produce its result artifact.
+
+:func:`execute_spec` is the single execution path behind both public faces
+of the pipeline:
+
+* the batch executor (:func:`repro.api.run_jobs`) ships
+  :class:`~repro.api.spec.PipelineSpec` dicts to worker processes, each of
+  which calls :func:`execute_spec` on a fresh session;
+* the convenience layer (:class:`repro.pipeline.Session`) builds the spec
+  from its kwargs and calls :func:`execute_spec` with *itself* as the
+  caching execution context, so repeated in-process runs reuse lowerings,
+  analyses, optimizations and coverage experiments.
+
+Either way the result is deterministic in the spec alone: every randomized
+stage seeds from ``spec.stage_seed(...)`` (derived from the root seed), so a
+spec executed serially, in a pool worker, or on another machine produces an
+identical :meth:`~repro.pipeline.session.PipelineReport.canonical_dict`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from ..core.quantize import quantize_to_lfsr_grid
+from .spec import PipelineSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..pipeline.session import PipelineReport, Session
+
+__all__ = ["execute_spec", "resolve_n_patterns"]
+
+#: Fallback fault-simulation pattern budget when neither the spec nor the
+#: benchmark registry names one.
+DEFAULT_N_PATTERNS = 4_000
+
+
+def resolve_n_patterns(spec: PipelineSpec) -> int:
+    """The fault-simulation pattern budget of a spec.
+
+    Explicit ``spec.fault_sim.n_patterns`` wins; a registry circuit falls
+    back to its paper pattern budget (Tables 2/4); anything else uses
+    :data:`DEFAULT_N_PATTERNS`.
+    """
+    if spec.fault_sim is not None and spec.fault_sim.n_patterns is not None:
+        return spec.fault_sim.n_patterns
+    if isinstance(spec.circuit, str):
+        from ..circuits.registry import get_entry
+
+        entry = get_entry(spec.circuit)
+        if entry is not None and entry.paper_pattern_count:
+            return entry.paper_pattern_count
+    return DEFAULT_N_PATTERNS
+
+
+def execute_spec(
+    spec: PipelineSpec, session: Optional["Session"] = None
+) -> "PipelineReport":
+    """Run every stage a spec declares and return the result artifact.
+
+    Args:
+        spec: the declarative job description.
+        session: optional caching execution context.  ``None`` builds a
+            fresh :class:`~repro.pipeline.Session` from the spec's configs
+            (the batch-worker path); passing an existing session reuses its
+            cached artifacts (the convenience-layer path — the session's
+            configs are expected to match the spec's, which
+            :meth:`Session.spec` guarantees).
+    """
+    from ..pipeline.session import PipelineReport, Session
+
+    if session is None:
+        session = Session.from_spec(spec)
+    key = spec.label
+    start = time.perf_counter()
+    if not session.has(key):
+        session.add(spec.build_circuit(), key=key)
+    session.lowered(key)
+    circuit = session.circuit(key)
+    faults = session.faults(key)
+
+    # Stage 1: analysis (always on).
+    conventional_length = session.required_length(
+        key, confidence=spec.analysis.confidence
+    )
+
+    # Stage 2: optimization.
+    optimization = None
+    if spec.optimize is not None:
+        optimization = session.optimize(key, max_sweeps=spec.optimize.max_sweeps)
+
+    # Stage 3: quantization.
+    quantized = None
+    if spec.quantize is not None:
+        if spec.quantize.lfsr_resolution is not None:
+            quantized = quantize_to_lfsr_grid(
+                optimization.weights, resolution=spec.quantize.lfsr_resolution
+            )
+        else:
+            quantized = session.quantized_weights(key, step=spec.quantize.step)
+
+    # Stage 4: fault-simulated validation (conventional, then optimized).
+    n_patterns = None
+    conventional_experiment = None
+    optimized_experiment = None
+    if spec.fault_sim is not None:
+        config = spec.fault_sim
+        n_patterns = resolve_n_patterns(spec)
+        fault_sim_seed = spec.stage_seed("fault_sim")
+        conventional_experiment = session.fault_simulate(
+            key,
+            n_patterns,
+            seed=fault_sim_seed,
+            batch_size=config.batch_size,
+            fault_group=config.fault_group,
+            target_coverage=config.target_coverage,
+        )
+        if quantized is not None:
+            optimized_experiment = session.fault_simulate(
+                key,
+                n_patterns,
+                weights=quantized,
+                seed=fault_sim_seed,
+                batch_size=config.batch_size,
+                fault_group=config.fault_group,
+                target_coverage=config.target_coverage,
+            )
+
+    # Stage 5: self test (BILBO / signature analysis).
+    self_test_report = None
+    if spec.self_test is not None:
+        config = spec.self_test
+        fault = None
+        if config.inject_hardest and faults:
+            probabilities = session.detection_probabilities(key)
+            fault = faults[int(np.argmin(probabilities))]
+        self_test_report = session.self_test(
+            key,
+            config.n_patterns,
+            weights=quantized if config.weighted else None,
+            use_lfsr=config.use_lfsr,
+            misr_width=config.misr_width,
+            misr_taps=config.misr_taps,
+            seed=spec.stage_seed("self_test"),
+            fault=fault,
+        )
+
+    return PipelineReport(
+        key=key,
+        circuit_name=circuit.name,
+        n_gates=circuit.n_gates,
+        n_inputs=circuit.n_inputs,
+        n_faults=len(faults),
+        input_names=[circuit.net_name(net) for net in circuit.inputs],
+        seed=spec.seed,
+        conventional_length=conventional_length,
+        optimized_length=None if optimization is None else optimization.test_length,
+        weights=None if optimization is None else optimization.weights,
+        quantized_weights=quantized,
+        n_patterns=n_patterns,
+        conventional_coverage=(
+            None
+            if conventional_experiment is None
+            else 100.0 * conventional_experiment.fault_coverage
+        ),
+        optimized_coverage=(
+            None
+            if optimized_experiment is None
+            else 100.0 * optimized_experiment.fault_coverage
+        ),
+        optimization=optimization,
+        conventional_experiment=conventional_experiment,
+        optimized_experiment=optimized_experiment,
+        self_test=self_test_report,
+        self_test_fault=fault if spec.self_test is not None else None,
+        lowerings=session.lowerings(key),
+        seconds=time.perf_counter() - start,
+    )

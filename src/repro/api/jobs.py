@@ -1,0 +1,166 @@
+"""The parallel batch executor: fan a spec batch out over worker processes.
+
+:func:`run_jobs` executes a batch of :class:`~repro.api.spec.PipelineSpec`
+jobs on a :class:`concurrent.futures.ProcessPoolExecutor`:
+
+* specs cross the process boundary as their validated ``to_dict`` form and
+  results come back as ``PipelineReport`` artifact dicts — nothing but the
+  JSON wire format is ever pickled, so the pool exercises exactly the same
+  round trip as the CLI artifact files;
+* every worker process keeps its own **content-addressed compile cache**
+  (:mod:`repro.lowered` is process-global), so a worker that executes
+  several jobs over the same circuit structure lowers it **once** — the
+  per-worker compile counter is reported back with every result and the
+  test suite asserts the at-most-once-per-worker contract;
+* results are **streamed as they finish** via :func:`iter_jobs`
+  (completion order); :func:`run_jobs` collects them back into spec order.
+
+Determinism: :func:`~repro.api.executor.execute_spec` seeds every stage from
+the spec alone, so ``run_jobs(specs, parallelism=4)`` is bit-identical
+(per :meth:`PipelineReport.canonical_dict`) to the serial
+``[execute_spec(s) for s in specs]`` path, whatever the scheduling order.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from .executor import execute_spec
+from .spec import PipelineSpec
+
+__all__ = ["JobResult", "run_jobs", "iter_jobs"]
+
+#: Compile-counter baseline of the current worker process.  With the
+#: ``fork`` start method a worker inherits the parent's process-global
+#: counter (and its content-addressed cache); the baseline makes the
+#: reported per-worker compile counts start at zero either way.
+_WORKER_BASELINE = 0
+
+
+@dataclass
+class JobResult:
+    """One finished job, streamed back from the pool.
+
+    Attributes:
+        index: position of the job's spec in the submitted batch.
+        spec: the executed spec.
+        report: the decoded result artifact.
+        worker_pid: process id of the worker that ran the job.
+        worker_compiles: lowerings performed by that worker so far (since
+            its baseline) — the compile-once-per-structure-per-worker
+            contract bounds this by the number of distinct structures the
+            worker has seen.
+        seconds: wall-clock execution time of the job in the worker.
+    """
+
+    index: int
+    spec: PipelineSpec
+    report: "object"
+    worker_pid: int
+    worker_compiles: int
+    seconds: float
+
+
+def _worker_init() -> None:
+    global _WORKER_BASELINE
+    from ..lowered import compile_count
+
+    _WORKER_BASELINE = compile_count()
+
+
+def _run_job(index: int, spec_dict: Dict) -> Dict:
+    """Worker entry point: decode the spec, execute, encode the report."""
+    from ..lowered import compile_count
+
+    spec = PipelineSpec.from_dict(spec_dict)
+    start = time.perf_counter()
+    report = execute_spec(spec)
+    return {
+        "index": index,
+        "report": report.to_dict(),
+        "worker_pid": os.getpid(),
+        "worker_compiles": compile_count() - _WORKER_BASELINE,
+        "seconds": time.perf_counter() - start,
+    }
+
+
+def _decode_result(payload: Dict, spec: PipelineSpec) -> JobResult:
+    from ..pipeline.session import PipelineReport
+
+    return JobResult(
+        index=payload["index"],
+        spec=spec,
+        report=PipelineReport.from_dict(payload["report"]),
+        worker_pid=payload["worker_pid"],
+        worker_compiles=payload["worker_compiles"],
+        seconds=payload["seconds"],
+    )
+
+
+def iter_jobs(
+    specs: Sequence[PipelineSpec], parallelism: Optional[int] = None
+) -> Iterator[JobResult]:
+    """Execute a spec batch, yielding :class:`JobResult` as each finishes.
+
+    ``parallelism <= 1`` (or ``None``) runs the batch serially in-process —
+    same wire format, same derived seeds, no pool — which is also the
+    reference path the parallel results are tested against.
+    """
+    specs = list(specs)
+    for spec in specs:
+        if not isinstance(spec, PipelineSpec):
+            raise TypeError(f"expected PipelineSpec, got {type(spec).__name__}")
+    if parallelism is None or parallelism <= 1:
+        from ..lowered import compile_count
+
+        baseline = compile_count()
+        for index, spec in enumerate(specs):
+            payload = _run_job(index, spec.to_dict())
+            payload["worker_compiles"] = compile_count() - baseline
+            yield _decode_result(payload, spec)
+        return
+
+    with ProcessPoolExecutor(
+        max_workers=parallelism, initializer=_worker_init
+    ) as pool:
+        pending = {
+            pool.submit(_run_job, index, spec.to_dict()): index
+            for index, spec in enumerate(specs)
+        }
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = pending.pop(future)
+                try:
+                    payload = future.result()
+                except Exception as exc:
+                    # Fail fast: cancel everything still queued so the error
+                    # surfaces without first draining the remaining batch.
+                    for remaining in pending:
+                        remaining.cancel()
+                    raise RuntimeError(
+                        f"pipeline job {specs[index].label!r} "
+                        f"(batch index {index}) failed: {exc}"
+                    ) from exc
+                yield _decode_result(payload, specs[index])
+
+
+def run_jobs(
+    specs: Sequence[PipelineSpec], parallelism: Optional[int] = None
+) -> List["object"]:
+    """Execute a spec batch and return the reports **in spec order**.
+
+    The parallel path (``parallelism > 1``) fans the batch out over a
+    process pool with per-worker compile caches; see the module docstring
+    for the determinism and compile-reuse contracts.  Use
+    :func:`iter_jobs` to consume results in completion order instead.
+    """
+    specs = list(specs)
+    reports: List[object] = [None] * len(specs)
+    for result in iter_jobs(specs, parallelism=parallelism):
+        reports[result.index] = result.report
+    return reports

@@ -1,0 +1,137 @@
+"""Shared serialization substrate of the job-spec API.
+
+Every declarative spec and every result artifact in :mod:`repro.api` is a
+plain dict that survives ``json.dumps``/``json.loads`` **exactly**:
+
+* numpy arrays are encoded as tagged dicts (``{"__ndarray__": ...}``) whose
+  nested-list payload round-trips bit for bit for the integer, boolean and
+  IEEE-754 float dtypes used by the reports (Python's ``json`` emits
+  shortest-round-trip float literals, so ``float64`` values are preserved
+  exactly, not approximately);
+* every top-level artifact dict carries a ``kind`` tag (which type to
+  rebuild) and a ``schema_version``; decoding validates both and rejects
+  unknown fields, so stale or hand-edited artifacts fail loudly instead of
+  being silently misread.
+
+This module is a leaf (numpy only) so that the result dataclasses across
+``repro.core`` / ``repro.faultsim`` / ``repro.patterns`` / ``repro.pipeline``
+can use it without import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "encode_array",
+    "decode_array",
+    "encode_optional_array",
+    "decode_optional_array",
+    "tagged_dict",
+    "untag",
+]
+
+#: Version of the artifact wire format.  Bump on any incompatible change to a
+#: spec or report schema; decoders reject other versions.
+SCHEMA_VERSION = 1
+
+_NDARRAY_TAG = "__ndarray__"
+
+
+class SchemaError(ValueError):
+    """Raised when an artifact dict cannot be decoded safely.
+
+    Covers unknown ``kind`` tags, unsupported ``schema_version`` values,
+    missing required fields and unknown (possibly misspelled) fields.
+    """
+
+
+# --------------------------------------------------------------------------- #
+# numpy arrays
+# --------------------------------------------------------------------------- #
+def encode_array(array: np.ndarray) -> Dict[str, Any]:
+    """Encode a numpy array as a JSON-safe tagged dict (exact round trip)."""
+    array = np.asarray(array)
+    return {
+        _NDARRAY_TAG: True,
+        "dtype": array.dtype.str,
+        "shape": list(array.shape),
+        "data": array.tolist(),
+    }
+
+
+def decode_array(data: Mapping[str, Any]) -> np.ndarray:
+    """Rebuild a numpy array from :func:`encode_array` output."""
+    if not (isinstance(data, Mapping) and data.get(_NDARRAY_TAG)):
+        raise SchemaError(f"expected an encoded ndarray, got {type(data).__name__}")
+    unknown = set(data) - {_NDARRAY_TAG, "dtype", "shape", "data"}
+    if unknown:
+        raise SchemaError(f"encoded ndarray has unknown fields: {sorted(unknown)}")
+    try:
+        array = np.asarray(data["data"], dtype=np.dtype(data["dtype"]))
+        return array.reshape(tuple(data.get("shape", array.shape)))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SchemaError(f"malformed encoded ndarray: {exc}") from exc
+
+
+def encode_optional_array(array: Optional[np.ndarray]) -> Optional[Dict[str, Any]]:
+    return None if array is None else encode_array(array)
+
+
+def decode_optional_array(data: Optional[Mapping[str, Any]]) -> Optional[np.ndarray]:
+    return None if data is None else decode_array(data)
+
+
+# --------------------------------------------------------------------------- #
+# tagged artifact dicts
+# --------------------------------------------------------------------------- #
+def tagged_dict(kind: str, payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """Wrap a payload mapping with the ``kind`` + ``schema_version`` envelope."""
+    data: Dict[str, Any] = {"kind": kind, "schema_version": SCHEMA_VERSION}
+    for field, value in payload.items():
+        if field in data:
+            raise ValueError(f"payload field {field!r} collides with the envelope")
+        data[field] = value
+    return data
+
+
+def untag(
+    data: Mapping[str, Any],
+    kind: str,
+    required: Iterable[str],
+    optional: Sequence[str] = (),
+) -> Dict[str, Any]:
+    """Validate an artifact envelope and return its payload fields.
+
+    Checks that ``data`` is a mapping of the expected ``kind`` at the
+    supported :data:`SCHEMA_VERSION`, that every field in ``required`` is
+    present, and that no field outside ``required``/``optional`` appears.
+    Missing ``optional`` fields default to ``None`` in the returned payload.
+    """
+    if not isinstance(data, Mapping):
+        raise SchemaError(f"artifact dict expected, got {type(data).__name__}")
+    got_kind = data.get("kind")
+    if got_kind != kind:
+        raise SchemaError(f"expected artifact kind {kind!r}, got {got_kind!r}")
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise SchemaError(
+            f"unsupported schema_version {version!r} for kind {kind!r} "
+            f"(this build reads version {SCHEMA_VERSION})"
+        )
+    required = list(required)
+    allowed = set(required) | set(optional) | {"kind", "schema_version"}
+    unknown = set(data) - allowed
+    if unknown:
+        raise SchemaError(f"artifact kind {kind!r} has unknown fields: {sorted(unknown)}")
+    missing = [field for field in required if field not in data]
+    if missing:
+        raise SchemaError(f"artifact kind {kind!r} is missing fields: {missing}")
+    payload = {field: data[field] for field in required}
+    for field in optional:
+        payload[field] = data.get(field)
+    return payload

@@ -1,0 +1,456 @@
+"""Declarative job specs: typed per-stage configs and the pipeline spec.
+
+The paper's PROTEST workflow is a batch pipeline — analyze → optimize →
+quantize → fault-simulate → self-test.  A :class:`PipelineSpec` describes one
+such job *declaratively*: a circuit reference (benchmark-registry name or an
+inline netlist dict), one frozen config dataclass per stage, and a single
+root seed from which every stage derives its own, non-correlated seed.
+Specs are plain data — they validate on construction, round-trip through
+JSON exactly (:meth:`PipelineSpec.to_dict` / :meth:`PipelineSpec.from_dict`)
+and carry no process state, so they can be stored, diffed, shipped to worker
+processes (:func:`repro.api.run_jobs`) or fed to ``python -m repro``.
+
+Stage presence is expressed by the config being present: ``optimize=None``
+means "analysis only", ``self_test=SelfTestConfig(...)`` appends the BIST
+stage.  Later stages consume earlier ones, so the spec enforces the chain
+(quantize needs optimize; a weighted self test needs quantized weights).
+
+Seed semantics
+--------------
+``seed`` is the job's *root* seed.  Each randomized stage of each circuit
+draws its working seed via :func:`derive_seed`, which builds a child
+:class:`numpy.random.SeedSequence` keyed by the stage name and the circuit
+label (the same parent/child derivation as ``SeedSequence.spawn``, with a
+stable name-derived spawn key instead of a call-order-dependent counter).
+Consequences:
+
+* batch runs are **reproducible** — the same spec always yields the same
+  patterns, serial or parallel, whatever the execution order;
+* stages are **non-correlated** — the fault-simulation stage and the
+  self-test stage of one circuit no longer share a pattern stream, and two
+  circuits in one sweep never reuse each other's patterns, even though the
+  whole batch is described by one root seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from ..circuit.netlist import Circuit
+from .serialize import SchemaError, tagged_dict, untag
+
+__all__ = [
+    "AnalysisConfig",
+    "OptimizeConfig",
+    "QuantizeConfig",
+    "FaultSimConfig",
+    "SelfTestConfig",
+    "PipelineSpec",
+    "derive_seed",
+    "STAGE_NAMES",
+]
+
+#: Names of the pipeline stages, in execution order.  Also the namespace of
+#: :func:`derive_seed`'s ``stage`` argument.
+STAGE_NAMES = ("analysis", "optimize", "quantize", "fault_sim", "self_test")
+
+#: Detection-probability estimators a spec may name (resolved by the
+#: executor; estimator *objects* remain a Session-level runtime override).
+ESTIMATOR_NAMES = ("batched", "scalar")
+
+
+# --------------------------------------------------------------------------- #
+# Seed derivation
+# --------------------------------------------------------------------------- #
+def derive_seed(root_seed: int, stage: str, label: str = "") -> int:
+    """Deterministic per-stage, per-circuit seed from one root seed.
+
+    Builds the child ``SeedSequence(root_seed, spawn_key=...)`` whose spawn
+    key encodes ``stage`` (by its index in :data:`STAGE_NAMES`) and ``label``
+    (by a stable blake2b digest), then draws one 64-bit state word.  This is
+    exactly the parent/child construction of
+    :meth:`numpy.random.SeedSequence.spawn`, made order-independent: the
+    derived seed depends only on ``(root_seed, stage, label)``, never on how
+    many other stages or circuits were seeded before.
+    """
+    if not isinstance(root_seed, int) or isinstance(root_seed, bool) or root_seed < 0:
+        raise ValueError(f"root seed must be a non-negative int, got {root_seed!r}")
+    try:
+        stage_index = STAGE_NAMES.index(stage)
+    except ValueError as exc:
+        raise ValueError(
+            f"unknown stage {stage!r}; expected one of {STAGE_NAMES}"
+        ) from exc
+    digest = hashlib.blake2b(label.encode("utf-8"), digest_size=8).digest()
+    label_words = tuple(
+        int.from_bytes(digest[i : i + 4], "little") for i in (0, 4)
+    )
+    sequence = np.random.SeedSequence(
+        entropy=root_seed, spawn_key=(stage_index, *label_words)
+    )
+    seed = int(sequence.generate_state(1, np.uint64)[0])
+    if seed & 0xFFFFFFFF == 0:
+        # Guard the (2^-32) corner: LFSR-backed generators mask the seed to
+        # the register width and reject an all-zero state.
+        seed |= 1
+    return seed
+
+
+# --------------------------------------------------------------------------- #
+# Config plumbing shared by all stage dataclasses
+# --------------------------------------------------------------------------- #
+class _ConfigBase:
+    """to_dict/from_dict + validation shared by the frozen stage configs."""
+
+    _kind: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable dict with ``kind`` and ``schema_version``."""
+        payload = {}
+        for spec_field in fields(self):  # type: ignore[arg-type]
+            value = getattr(self, spec_field.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            payload[spec_field.name] = value
+        return tagged_dict(self._kind, payload)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "_ConfigBase":
+        """Rebuild a config, rejecting unknown versions and fields."""
+        names = [spec_field.name for spec_field in fields(cls)]  # type: ignore[arg-type]
+        payload = untag(data, cls._kind, required=(), optional=names)
+        kwargs = {}
+        for spec_field in fields(cls):  # type: ignore[arg-type]
+            if data.get(spec_field.name) is None and spec_field.name not in data:
+                continue  # fall back to the dataclass default
+            value = payload[spec_field.name]
+            if isinstance(value, list):
+                value = tuple(value)
+            kwargs[spec_field.name] = value
+        try:
+            return cls(**kwargs)
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(f"invalid {cls._kind} payload: {exc}") from exc
+
+
+def _check_positive_int(name: str, value: int) -> None:
+    if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+        raise ValueError(f"{name} must be a positive int, got {value!r}")
+
+
+def _check_fraction(name: str, value: float, open_interval: bool = True) -> None:
+    ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+    if ok:
+        ok = 0.0 < float(value) < 1.0 if open_interval else 0.0 <= float(value) <= 1.0
+    if not ok:
+        raise ValueError(f"{name} must lie strictly between 0 and 1, got {value!r}")
+
+
+# --------------------------------------------------------------------------- #
+# Per-stage configs
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class AnalysisConfig(_ConfigBase):
+    """Stage 1 — testability analysis (COP detection probabilities).
+
+    Attributes:
+        confidence: required probability of detecting every modelled fault;
+            shared by the test-length computation and the optimizer.
+        drop_redundant: exclude faults proven/estimated undetectable from the
+            fault list (the paper's coverage convention).
+        estimator: detection-probability estimator by name — ``"batched"``
+            (the compiled COP engine, default) or ``"scalar"`` (the
+            bit-identical reference implementation).
+    """
+
+    _kind = "analysis_config"
+
+    confidence: float = 0.999
+    drop_redundant: bool = True
+    estimator: str = "batched"
+
+    def __post_init__(self) -> None:
+        _check_fraction("confidence", self.confidence)
+        if self.estimator not in ESTIMATOR_NAMES:
+            raise ValueError(
+                f"unknown estimator {self.estimator!r}; expected one of {ESTIMATOR_NAMES}"
+            )
+
+
+@dataclass(frozen=True)
+class OptimizeConfig(_ConfigBase):
+    """Stage 2 — input-probability optimization (ANALYSIS/PREPARE/OPTIMIZE).
+
+    Attributes:
+        max_sweeps: coordinate-descent sweep budget.
+        alpha: relative-improvement convergence threshold.
+        bounds: allowed interval for each input probability (Lemma 2 keeps
+            it away from 0 and 1).
+    """
+
+    _kind = "optimize_config"
+
+    max_sweeps: int = 8
+    alpha: float = 0.01
+    bounds: Tuple[float, float] = (0.05, 0.95)
+
+    def __post_init__(self) -> None:
+        _check_positive_int("max_sweeps", self.max_sweeps)
+        _check_fraction("alpha", self.alpha)
+        if (
+            len(self.bounds) != 2
+            or not 0.0 <= float(self.bounds[0]) < float(self.bounds[1]) <= 1.0
+        ):
+            raise ValueError(f"bounds must satisfy 0 <= low < high <= 1, got {self.bounds!r}")
+
+
+@dataclass(frozen=True)
+class QuantizeConfig(_ConfigBase):
+    """Stage 3 — snapping the optimized weights to a realisable grid.
+
+    Attributes:
+        step: decimal grid step (the paper's appendix uses 0.05).
+        lfsr_resolution: if set, quantize to the ``k / 2**resolution`` grid
+            of an LFSR weighting network instead of the decimal grid.
+    """
+
+    _kind = "quantize_config"
+
+    step: float = 0.05
+    lfsr_resolution: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _check_fraction("step", self.step)
+        if self.lfsr_resolution is not None and not (
+            isinstance(self.lfsr_resolution, int)
+            and not isinstance(self.lfsr_resolution, bool)
+            and 1 <= self.lfsr_resolution <= 16
+        ):
+            raise ValueError(
+                f"lfsr_resolution must be an int in [1, 16], got {self.lfsr_resolution!r}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultSimConfig(_ConfigBase):
+    """Stage 4 — fault-simulated validation of (weighted) random patterns.
+
+    Attributes:
+        n_patterns: pattern budget (an upper bound when ``target_coverage``
+            is set).  ``None`` falls back to the circuit's paper budget when
+            the spec references a registry circuit, else 4000.
+        batch_size: bit-parallel batch size.
+        fault_group: faults simulated simultaneously per group (``None`` =
+            adaptive).
+        target_coverage: optional coverage fraction at which to stop early.
+    """
+
+    _kind = "fault_sim_config"
+
+    n_patterns: Optional[int] = None
+    batch_size: int = 2048
+    fault_group: Optional[int] = None
+    target_coverage: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.n_patterns is not None:
+            _check_positive_int("n_patterns", self.n_patterns)
+        _check_positive_int("batch_size", self.batch_size)
+        if self.fault_group is not None:
+            _check_positive_int("fault_group", self.fault_group)
+        if self.target_coverage is not None:
+            _check_fraction("target_coverage", self.target_coverage, open_interval=False)
+
+
+@dataclass(frozen=True)
+class SelfTestConfig(_ConfigBase):
+    """Stage 5 — BILBO-style self test (LFSR weighting network + MISR).
+
+    Attributes:
+        n_patterns: self-test length N.
+        use_lfsr: draw patterns from the hardware-realistic LFSR weighting
+            network instead of the software PRNG.
+        weighted: apply the quantized optimized weights (requires the
+            quantize stage); ``False`` runs a conventional equiprobable
+            session.
+        misr_width / misr_taps: signature-register override for circuits
+            with more primary outputs than the largest tabulated width.
+        inject_hardest: additionally re-run the session with the hardest
+            fault (lowest baseline detection probability) injected and
+            report that signature, demonstrating end-to-end detection.
+    """
+
+    _kind = "self_test_config"
+
+    n_patterns: int = 2_000
+    use_lfsr: bool = True
+    weighted: bool = True
+    misr_width: Optional[int] = None
+    misr_taps: Optional[Tuple[int, ...]] = None
+    inject_hardest: bool = False
+
+    def __post_init__(self) -> None:
+        _check_positive_int("n_patterns", self.n_patterns)
+        if self.misr_taps is not None:
+            object.__setattr__(self, "misr_taps", tuple(int(t) for t in self.misr_taps))
+        if self.misr_width is not None:
+            _check_positive_int("misr_width", self.misr_width)
+
+
+# --------------------------------------------------------------------------- #
+# The pipeline spec
+# --------------------------------------------------------------------------- #
+_SPEC_STAGE_TYPES = {
+    "analysis": AnalysisConfig,
+    "optimize": OptimizeConfig,
+    "quantize": QuantizeConfig,
+    "fault_sim": FaultSimConfig,
+    "self_test": SelfTestConfig,
+}
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """One declarative pipeline job: a circuit plus its stage configs.
+
+    Attributes:
+        circuit: circuit reference — a benchmark-registry key (``"s1"``,
+            ``"c6288"``, ...) or an inline netlist dict
+            (:meth:`repro.circuit.netlist.Circuit.to_dict`).
+        key: label of the job's artifacts; defaults to the registry key or
+            the inline netlist's name.
+        seed: root seed; every randomized stage derives its own seed via
+            :func:`derive_seed` (see the module docstring for the
+            semantics).
+        analysis: always-on analysis stage config.
+        optimize / quantize / fault_sim / self_test: optional stage configs;
+            ``None`` skips the stage (and everything that needs it).
+    """
+
+    circuit: Union[str, Mapping]
+    key: Optional[str] = None
+    seed: int = 1987
+    analysis: AnalysisConfig = AnalysisConfig()
+    optimize: Optional[OptimizeConfig] = OptimizeConfig()
+    quantize: Optional[QuantizeConfig] = QuantizeConfig()
+    fault_sim: Optional[FaultSimConfig] = FaultSimConfig()
+    self_test: Optional[SelfTestConfig] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.circuit, str):
+            if not self.circuit:
+                raise ValueError("registry circuit reference must be a non-empty key")
+        elif isinstance(self.circuit, Mapping):
+            missing = {"name", "net_names", "inputs", "outputs", "gates"} - set(self.circuit)
+            if missing:
+                raise ValueError(
+                    f"inline netlist dict is missing fields: {sorted(missing)}"
+                )
+        else:
+            raise ValueError(
+                "circuit must be a registry key (str) or an inline netlist dict, "
+                f"got {type(self.circuit).__name__}"
+            )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool) or self.seed < 0:
+            raise ValueError(f"seed must be a non-negative int, got {self.seed!r}")
+        for name, config_type in _SPEC_STAGE_TYPES.items():
+            value = getattr(self, name)
+            if value is not None and not isinstance(value, config_type):
+                raise ValueError(
+                    f"{name} must be a {config_type.__name__} or None, "
+                    f"got {type(value).__name__}"
+                )
+        if self.quantize is not None and self.optimize is None:
+            raise ValueError("the quantize stage requires the optimize stage")
+        if self.self_test is not None and self.self_test.weighted and self.quantize is None:
+            raise ValueError("a weighted self test requires the quantize stage")
+
+    def __hash__(self) -> int:
+        # The generated frozen-dataclass hash would crash on an inline
+        # netlist dict; hash the canonical wire form instead so specs work
+        # as set members / dict keys (dedup in batch drivers) either way.
+        import json
+
+        return hash(json.dumps(self.to_dict(), sort_keys=True))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def label(self) -> str:
+        """The artifact label: explicit key, registry key or netlist name."""
+        if self.key is not None:
+            return self.key
+        if isinstance(self.circuit, str):
+            return self.circuit
+        return str(self.circuit.get("name") or "circuit")
+
+    def build_circuit(self) -> Circuit:
+        """Materialize the referenced circuit (registry build or inline)."""
+        if isinstance(self.circuit, str):
+            from ..circuits.registry import build_circuit
+
+            return build_circuit(self.circuit)
+        return Circuit.from_dict(dict(self.circuit))
+
+    def stage_seed(self, stage: str) -> int:
+        """The derived seed of one stage of this job (see :func:`derive_seed`)."""
+        return derive_seed(self.seed, stage, self.label)
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable spec dict (validated exact round trip)."""
+        circuit: Union[str, Dict[str, Any]]
+        if isinstance(self.circuit, str):
+            circuit = self.circuit
+        else:
+            circuit = dict(self.circuit)
+        return tagged_dict(
+            "pipeline_spec",
+            {
+                "circuit": circuit,
+                "key": self.key,
+                "seed": self.seed,
+                "analysis": self.analysis.to_dict(),
+                "optimize": None if self.optimize is None else self.optimize.to_dict(),
+                "quantize": None if self.quantize is None else self.quantize.to_dict(),
+                "fault_sim": None if self.fault_sim is None else self.fault_sim.to_dict(),
+                "self_test": None if self.self_test is None else self.self_test.to_dict(),
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PipelineSpec":
+        """Rebuild a spec, rejecting unknown versions and fields."""
+        payload = untag(
+            data,
+            "pipeline_spec",
+            required=("circuit", "seed"),
+            optional=("key", "analysis", "optimize", "quantize", "fault_sim", "self_test"),
+        )
+        kwargs: Dict[str, Any] = {
+            "circuit": payload["circuit"],
+            "key": payload["key"],
+            "seed": payload["seed"],
+        }
+        for name, config_type in _SPEC_STAGE_TYPES.items():
+            value = payload[name]
+            if name == "analysis":
+                kwargs[name] = (
+                    AnalysisConfig() if value is None else AnalysisConfig.from_dict(value)
+                )
+            elif name not in data:
+                # Absent field: keep the constructor's stage default (a
+                # hand-written minimal spec runs the same pipeline as
+                # PipelineSpec(circuit=...)).  An explicit null skips the
+                # stage — to_dict always writes every field, so round trips
+                # are unaffected.
+                continue
+            else:
+                kwargs[name] = None if value is None else config_type.from_dict(value)
+        try:
+            return cls(**kwargs)
+        except ValueError as exc:
+            raise SchemaError(f"invalid pipeline_spec payload: {exc}") from exc

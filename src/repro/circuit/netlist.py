@@ -285,6 +285,61 @@ class Circuit:
         return [pi for pi in self.inputs if pi in cone]
 
     # ------------------------------------------------------------------ #
+    # Interchange
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable netlist dictionary (exact round trip).
+
+        The format is the inline-netlist circuit reference of the job-spec
+        API (:mod:`repro.api`): plain lists and strings only, gates encoded
+        as ``[gate_type, output_net, [input_nets...]]`` triples in
+        topological order.  :meth:`from_dict` rebuilds an identical circuit
+        (same ids, names and :meth:`structural_hash`).
+        """
+        return {
+            "name": self.name,
+            "net_names": list(self.net_names),
+            "inputs": list(self.inputs),
+            "outputs": list(self.outputs),
+            "gates": [
+                [gate.gate_type.value, gate.output, list(gate.inputs)]
+                for gate in self.gates
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Circuit":
+        """Rebuild a circuit from :meth:`to_dict` output (validated)."""
+        if not isinstance(data, dict):
+            raise CircuitError(f"netlist dict expected, got {type(data).__name__}")
+        required = {"name", "net_names", "inputs", "outputs", "gates"}
+        missing = required - set(data)
+        if missing:
+            raise CircuitError(f"netlist dict is missing fields: {sorted(missing)}")
+        unknown = set(data) - required
+        if unknown:
+            raise CircuitError(f"netlist dict has unknown fields: {sorted(unknown)}")
+        gates = []
+        for entry in data["gates"]:
+            if len(entry) != 3:
+                raise CircuitError(
+                    f"gate entry must be [type, output, inputs], got {entry!r}"
+                )
+            try:
+                gates.append(
+                    Gate(GateType(entry[0]), int(entry[1]), tuple(int(i) for i in entry[2]))
+                )
+            except (ValueError, TypeError) as exc:
+                raise CircuitError(f"malformed gate entry in netlist dict: {exc}") from exc
+        return cls(
+            name=str(data["name"]),
+            net_names=[str(n) for n in data["net_names"]],
+            inputs=tuple(int(i) for i in data["inputs"]),
+            outputs=tuple(int(i) for i in data["outputs"]),
+            gates=gates,
+        )
+
+    # ------------------------------------------------------------------ #
     # Reporting
     # ------------------------------------------------------------------ #
     def gate_type_counts(self) -> Dict[GateType, int]:

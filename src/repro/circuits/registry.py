@@ -27,7 +27,14 @@ from .ecc import ecc_decoder_circuit
 from .multiplier import array_multiplier_circuit
 from .resistant import c2670_like, c7552_like
 
-__all__ = ["BenchmarkCircuit", "paper_suite", "hard_suite", "build_circuit", "circuit_keys"]
+__all__ = [
+    "BenchmarkCircuit",
+    "paper_suite",
+    "hard_suite",
+    "build_circuit",
+    "circuit_keys",
+    "get_entry",
+]
 
 
 @dataclass(frozen=True)
@@ -231,6 +238,15 @@ def paper_suite() -> List[BenchmarkCircuit]:
 def hard_suite() -> List[BenchmarkCircuit]:
     """The four starred circuits of Tables 2-5 (not random-pattern testable)."""
     return [entry for entry in paper_suite() if entry.hard]
+
+
+def get_entry(key: str) -> Optional[BenchmarkCircuit]:
+    """The registry entry for ``key`` (case insensitive), or ``None``.
+
+    Used by the job-spec executor to resolve registry circuit references and
+    their paper pattern budgets without instantiating the circuit.
+    """
+    return _REGISTRY.get(key.lower())
 
 
 def build_circuit(key: str) -> Circuit:

@@ -95,6 +95,63 @@ class OptimizationResult:
             return float("inf")
         return self.initial_test_length / self.test_length
 
+    def to_dict(self) -> Dict:
+        """JSON-serializable artifact dict (exact round trip, job-spec API)."""
+        from ..api.serialize import encode_array, tagged_dict
+
+        return tagged_dict(
+            "optimization_result",
+            {
+                "weights": encode_array(self.weights),
+                "quantized_weights": encode_array(self.quantized_weights),
+                "initial_test_length": int(self.initial_test_length),
+                "test_length": int(self.test_length),
+                "history": [int(n) for n in self.history],
+                "n_hard_faults": int(self.n_hard_faults),
+                "sweeps": int(self.sweeps),
+                "redundant_faults": [f.to_list() for f in self.redundant_faults],
+                "cpu_seconds": float(self.cpu_seconds),
+                "weight_map": {name: float(w) for name, w in self.weight_map.items()},
+                "converged": bool(self.converged),
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "OptimizationResult":
+        """Rebuild a result from :meth:`to_dict` output (validated)."""
+        from ..api.serialize import decode_array, untag
+
+        payload = untag(
+            data,
+            "optimization_result",
+            required=(
+                "weights",
+                "quantized_weights",
+                "initial_test_length",
+                "test_length",
+                "history",
+                "n_hard_faults",
+                "sweeps",
+                "redundant_faults",
+                "cpu_seconds",
+                "weight_map",
+                "converged",
+            ),
+        )
+        return cls(
+            weights=decode_array(payload["weights"]),
+            quantized_weights=decode_array(payload["quantized_weights"]),
+            initial_test_length=int(payload["initial_test_length"]),
+            test_length=int(payload["test_length"]),
+            history=[int(n) for n in payload["history"]],
+            n_hard_faults=int(payload["n_hard_faults"]),
+            sweeps=int(payload["sweeps"]),
+            redundant_faults=[Fault.from_list(f) for f in payload["redundant_faults"]],
+            cpu_seconds=float(payload["cpu_seconds"]),
+            weight_map={str(k): float(v) for k, v in payload["weight_map"].items()},
+            converged=bool(payload["converged"]),
+        )
+
 
 class WeightOptimizer:
     """Computes optimized input probabilities for a circuit (OPTIMIZE).

@@ -26,6 +26,17 @@ from .table5 import (
 )
 from .figure2 import Figure2Data, format_figure2, run_figure2
 from .appendix import AppendixListing, format_appendix, run_appendix
+from .batch import (
+    appendix_listings,
+    figure2_data,
+    reports_by_key,
+    suite_specs,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+    table4_rows,
+    table5_rows,
+)
 
 __all__ = [
     "CONFIDENCE",
@@ -65,4 +76,13 @@ __all__ = [
     "AppendixListing",
     "run_appendix",
     "format_appendix",
+    "suite_specs",
+    "reports_by_key",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+    "table4_rows",
+    "table5_rows",
+    "figure2_data",
+    "appendix_listings",
 ]

@@ -53,6 +53,18 @@ class Fault:
             where = f"{where}->{circuit.net_name(gate.output)}"
         return f"{where} stuck-at-{value}"
 
+    def to_list(self) -> List:
+        """Compact JSON encoding ``[net, stuck_value, gate]`` (see job-spec API)."""
+        return [self.net, self.stuck_value, self.gate]
+
+    @classmethod
+    def from_list(cls, data: Sequence) -> "Fault":
+        """Rebuild a fault from :meth:`to_list` output."""
+        if len(data) != 3:
+            raise ValueError(f"fault encoding must be [net, stuck_value, gate], got {data!r}")
+        net, stuck_value, gate = data
+        return cls(int(net), bool(stuck_value), None if gate is None else int(gate))
+
 
 def fault_name(circuit: Circuit, fault: Fault) -> str:
     """Convenience alias for :meth:`Fault.describe`."""

@@ -59,6 +59,37 @@ class CoverageExperiment:
     def curve(self, points: Sequence[int]) -> List[Tuple[int, float]]:
         return self.result.coverage_curve(points)
 
+    def to_dict(self) -> dict:
+        """JSON-serializable artifact dict (job-spec API)."""
+        from ..api.serialize import tagged_dict
+
+        return tagged_dict(
+            "coverage_experiment",
+            {
+                "circuit_name": self.circuit_name,
+                "n_patterns": int(self.n_patterns),
+                "result": self.result.to_dict(),
+                "weights": [float(w) for w in self.weights],
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CoverageExperiment":
+        """Rebuild an experiment from :meth:`to_dict` output (validated)."""
+        from ..api.serialize import untag
+
+        payload = untag(
+            data,
+            "coverage_experiment",
+            required=("circuit_name", "n_patterns", "result", "weights"),
+        )
+        return cls(
+            circuit_name=str(payload["circuit_name"]),
+            n_patterns=int(payload["n_patterns"]),
+            result=FaultSimResult.from_dict(payload["result"]),
+            weights=[float(w) for w in payload["weights"]],
+        )
+
 
 def random_pattern_coverage(
     circuit: Circuit,

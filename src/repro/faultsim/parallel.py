@@ -91,6 +91,44 @@ class FaultSimResult:
         """Fault coverage after each pattern count in ``points``."""
         return [(n, self.coverage_at(n)) for n in points]
 
+    def to_dict(self) -> Dict:
+        """JSON-serializable artifact dict (job-spec API).
+
+        Faults are encoded once as ``[net, stuck_value, gate]`` triples and
+        the first-detection map as ``[fault_index, pattern_index]`` pairs
+        into that list, so the artifact stays compact while the decoded
+        result is exactly equal to the original (same faults, same indices).
+        """
+        from ..api.serialize import tagged_dict
+
+        index_of = {fault: i for i, fault in enumerate(self.faults)}
+        return tagged_dict(
+            "fault_sim_result",
+            {
+                "faults": [fault.to_list() for fault in self.faults],
+                "first_detection": sorted(
+                    [index_of[fault], int(idx)]
+                    for fault, idx in self.first_detection.items()
+                ),
+                "n_patterns": int(self.n_patterns),
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultSimResult":
+        """Rebuild a result from :meth:`to_dict` output (validated)."""
+        from ..api.serialize import untag
+
+        payload = untag(
+            data, "fault_sim_result", required=("faults", "first_detection", "n_patterns")
+        )
+        faults = [Fault.from_list(entry) for entry in payload["faults"]]
+        first_detection = {
+            faults[int(fault_index)]: int(pattern_index)
+            for fault_index, pattern_index in payload["first_detection"]
+        }
+        return cls(faults, first_detection, int(payload["n_patterns"]))
+
     def merged_with(self, other: "FaultSimResult") -> "FaultSimResult":
         """Combine two runs over the *same* fault list applied back to back.
 

@@ -4,8 +4,15 @@ The paper's workflow is a pipeline — testability analysis (COP), input
 probability optimization, quantization to a realisable weight grid,
 fault-simulated validation, and finally the weighted-random *self test* of
 section 5.2 (LFSR weighting network + MISR signature, the
-:meth:`Session.self_test` stage).  :class:`Session` runs that pipeline for
-one or many circuits with the expensive intermediates shared across stages:
+:meth:`Session.self_test` stage).
+
+Since the job-spec API (:mod:`repro.api`) the declarative description of
+that pipeline lives in :class:`repro.api.spec.PipelineSpec` and the
+execution in :func:`repro.api.executor.execute_spec`; :class:`Session` is
+the in-process **convenience layer**: it keeps the loose-kwargs constructor,
+builds the equivalent spec (:meth:`Session.spec`) and delegates
+:meth:`Session.run` to the executor, while caching the expensive
+intermediates across stages and runs:
 
 * the **lowered-circuit IR** (:mod:`repro.lowered`) is compiled exactly once
   per circuit and consumed by every stage (the analysis engine, the
@@ -19,6 +26,14 @@ one or many circuits with the expensive intermediates shared across stages:
   e.g. test-length, coverage and CPU-time reporting all use the same run —
   exactly as one PROTEST run feeds all of the paper's optimized-test numbers.
 
+Seed semantics: the session's ``seed`` is a *root* seed.  Randomized stages
+derive per-stage, per-circuit working seeds from it via
+:func:`repro.api.spec.derive_seed` (``SeedSequence``-based), so the
+fault-simulation and self-test stages of one circuit — and the same stages
+of different circuits — never share a pattern stream, yet every run is
+reproducible from the one root value.  Pass an explicit ``seed`` to a stage
+method to bypass the derivation.
+
 Typical use::
 
     from repro import Session, s1_comparator
@@ -27,19 +42,29 @@ Typical use::
     session.add(s1_comparator(width=12), key="s1")
     report = session.run("s1", n_patterns=4_000)
     print(report.summary())
+    print(json.dumps(report.to_dict()))   # JSON artifact, exact round trip
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..analysis.compiled import BatchedCopEstimator
-from ..analysis.detection import DetectionProbabilityEstimator
+from ..analysis.detection import CopDetectionEstimator, DetectionProbabilityEstimator
 from ..analysis.redundancy import remove_redundant
+from ..api.serialize import tagged_dict, untag
+from ..api.spec import (
+    AnalysisConfig,
+    FaultSimConfig,
+    OptimizeConfig,
+    PipelineSpec,
+    QuantizeConfig,
+    SelfTestConfig,
+    derive_seed,
+)
 from ..circuit.netlist import Circuit
 from ..core.optimizer import OptimizationResult, WeightOptimizer
 from ..core.quantize import quantize_weights
@@ -57,15 +82,46 @@ __all__ = ["Session", "PipelineReport"]
 #: coverage experiments, which only hold detection indices.
 _SELFTEST_CACHE_LIMIT = 8
 
+#: Artifact keys that describe the machine the report was produced on, not
+#: the mathematical result; :meth:`PipelineReport.canonical_dict` drops them
+#: so serial/parallel/cross-process runs of the same spec compare equal.
+_VOLATILE_KEYS = frozenset({"seconds", "cpu_seconds", "lowerings"})
+
+
+def _scrub_volatile(data: Any) -> Any:
+    """Recursively drop the wall-clock/process-local keys from an artifact.
+
+    Only *tagged* dicts (artifact envelopes carrying a ``kind``) are
+    scrubbed; user-data mappings such as ``weight_map`` — whose keys are
+    circuit net names and could legitimately be called ``"seconds"`` — pass
+    through untouched.
+    """
+    if isinstance(data, dict):
+        tagged = "kind" in data
+        return {
+            key: _scrub_volatile(value)
+            for key, value in data.items()
+            if not (tagged and key in _VOLATILE_KEYS)
+        }
+    if isinstance(data, list):
+        return [_scrub_volatile(item) for item in data]
+    return data
+
 
 @dataclass
 class PipelineReport:
-    """Outcome of one full pipeline run for one circuit.
+    """Outcome of one pipeline job — the JSON-serializable result artifact.
+
+    Stages a spec skipped leave their fields ``None`` (an analysis-only job
+    reports only the workload numbers and ``conventional_length``).
 
     Attributes:
-        key: session key of the circuit.
+        key: job label (session key / spec label).
         circuit_name: name of the circuit under test.
         n_gates / n_inputs / n_faults: workload size.
+        input_names: primary input net names, in circuit input order (what
+            the appendix listings and weight exports key on).
+        seed: root seed the stage seeds were derived from.
         conventional_length: required test length of the equiprobable test.
         optimized_length: required test length after optimization.
         weights / quantized_weights: optimized input probabilities (raw and
@@ -74,10 +130,18 @@ class PipelineReport:
         conventional_coverage / optimized_coverage: fault coverage (percent)
             of ``n_patterns`` conventional / optimized random patterns.
         optimization: the underlying (cached) optimization result.
+        conventional_experiment / optimized_experiment: the full coverage
+            experiments (per-fault first-detection indices), from which
+            coverage curves and undetected-fault counts derive.
+        self_test: report of the BIST stage, when the spec requested it.
+        self_test_fault: the fault injected into the self-test run (``None``
+            for a clean run); with an injection, ``self_test.passed`` False
+            means the signature exposed the fault.
         lowerings: lowering compilations attributed to this circuit — 1 for a
             fresh circuit, 0 when the content-addressed cache already held
             the structure.
-        seconds: wall-clock time of this ``run`` call.
+        seconds: wall-clock time of the run (volatile; excluded from
+            :meth:`canonical_dict`).
     """
 
     key: str
@@ -85,34 +149,203 @@ class PipelineReport:
     n_gates: int
     n_inputs: int
     n_faults: int
-    conventional_length: int
-    optimized_length: int
-    weights: np.ndarray
-    quantized_weights: np.ndarray
-    n_patterns: int
-    conventional_coverage: float
-    optimized_coverage: float
-    optimization: OptimizationResult
-    lowerings: int
-    seconds: float
+    input_names: List[str] = field(default_factory=list)
+    seed: int = 0
+    conventional_length: Optional[int] = None
+    optimized_length: Optional[int] = None
+    weights: Optional[np.ndarray] = None
+    quantized_weights: Optional[np.ndarray] = None
+    n_patterns: Optional[int] = None
+    conventional_coverage: Optional[float] = None
+    optimized_coverage: Optional[float] = None
+    optimization: Optional[OptimizationResult] = None
+    conventional_experiment: Optional[CoverageExperiment] = None
+    optimized_experiment: Optional[CoverageExperiment] = None
+    self_test: Optional[SelfTestReport] = None
+    self_test_fault: Optional[Fault] = None
+    lowerings: int = 0
+    seconds: float = 0.0
 
     @property
     def improvement_factor(self) -> float:
         """How many times shorter the optimized test is (≥ 1 when it helps)."""
+        if self.conventional_length is None or self.optimized_length is None:
+            return float("nan")
         if self.optimized_length <= 0:
             return float("inf")
         return self.conventional_length / self.optimized_length
 
     def summary(self) -> str:
-        """One-paragraph human-readable report."""
-        return (
-            f"{self.circuit_name}: conventional N ≈ {self.conventional_length:,}, "
-            f"optimized N ≈ {self.optimized_length:,} "
-            f"(x{self.improvement_factor:,.0f}); with {self.n_patterns:,} patterns "
-            f"coverage {self.conventional_coverage:.1f}% → "
-            f"{self.optimized_coverage:.1f}% "
+        """One-paragraph human-readable report (skipped stages elided)."""
+        parts = []
+        if self.conventional_length is not None:
+            parts.append(f"conventional N ≈ {self.conventional_length:,}")
+        if self.optimized_length is not None:
+            parts.append(
+                f"optimized N ≈ {self.optimized_length:,} "
+                f"(x{self.improvement_factor:,.0f})"
+            )
+        if self.conventional_coverage is not None:
+            line = (
+                f"with {self.n_patterns:,} patterns "
+                f"coverage {self.conventional_coverage:.1f}%"
+            )
+            if self.optimized_coverage is not None:
+                line += f" → {self.optimized_coverage:.1f}%"
+            parts.append(line)
+        if self.self_test is not None:
+            if self.self_test_fault is not None:
+                verdict = (
+                    "injected fault detected"
+                    if not self.self_test.passed
+                    else "injected fault MISSED"
+                )
+            else:
+                verdict = "pass" if self.self_test.passed else "FAIL"
+            parts.append(
+                f"self-test signature 0x{self.self_test.signature:x} ({verdict})"
+            )
+        parts.append(
             f"({self.lowerings} lowering{'s' if self.lowerings != 1 else ''})"
         )
+        return f"{self.circuit_name}: " + ", ".join(parts)
+
+    # ------------------------------------------------------------------ #
+    # Serialization (job-spec API artifact)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable artifact dict (exact round trip)."""
+        from ..api.serialize import encode_optional_array
+
+        return tagged_dict(
+            "pipeline_report",
+            {
+                "key": self.key,
+                "circuit_name": self.circuit_name,
+                "n_gates": int(self.n_gates),
+                "n_inputs": int(self.n_inputs),
+                "n_faults": int(self.n_faults),
+                "input_names": list(self.input_names),
+                "seed": int(self.seed),
+                "conventional_length": _opt_int(self.conventional_length),
+                "optimized_length": _opt_int(self.optimized_length),
+                "weights": encode_optional_array(self.weights),
+                "quantized_weights": encode_optional_array(self.quantized_weights),
+                "n_patterns": _opt_int(self.n_patterns),
+                "conventional_coverage": _opt_float(self.conventional_coverage),
+                "optimized_coverage": _opt_float(self.optimized_coverage),
+                "optimization": _opt_dict(self.optimization),
+                "conventional_experiment": _opt_dict(self.conventional_experiment),
+                "optimized_experiment": _opt_dict(self.optimized_experiment),
+                "self_test": _opt_dict(self.self_test),
+                "self_test_fault": (
+                    None if self.self_test_fault is None else self.self_test_fault.to_list()
+                ),
+                "lowerings": int(self.lowerings),
+                "seconds": float(self.seconds),
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PipelineReport":
+        """Rebuild a report from :meth:`to_dict` output (validated).
+
+        Rejects unknown ``schema_version`` values and unknown fields with
+        :class:`repro.api.serialize.SchemaError`.
+        """
+        from ..api.serialize import decode_optional_array
+
+        payload = untag(
+            data,
+            "pipeline_report",
+            required=(
+                "key",
+                "circuit_name",
+                "n_gates",
+                "n_inputs",
+                "n_faults",
+                "input_names",
+                "seed",
+            ),
+            optional=(
+                "conventional_length",
+                "optimized_length",
+                "weights",
+                "quantized_weights",
+                "n_patterns",
+                "conventional_coverage",
+                "optimized_coverage",
+                "optimization",
+                "conventional_experiment",
+                "optimized_experiment",
+                "self_test",
+                "self_test_fault",
+                "lowerings",
+                "seconds",
+            ),
+        )
+        optimization = payload["optimization"]
+        conventional_experiment = payload["conventional_experiment"]
+        optimized_experiment = payload["optimized_experiment"]
+        self_test = payload["self_test"]
+        return cls(
+            key=str(payload["key"]),
+            circuit_name=str(payload["circuit_name"]),
+            n_gates=int(payload["n_gates"]),
+            n_inputs=int(payload["n_inputs"]),
+            n_faults=int(payload["n_faults"]),
+            input_names=[str(n) for n in payload["input_names"]],
+            seed=int(payload["seed"]),
+            conventional_length=_opt_int(payload["conventional_length"]),
+            optimized_length=_opt_int(payload["optimized_length"]),
+            weights=decode_optional_array(payload["weights"]),
+            quantized_weights=decode_optional_array(payload["quantized_weights"]),
+            n_patterns=_opt_int(payload["n_patterns"]),
+            conventional_coverage=_opt_float(payload["conventional_coverage"]),
+            optimized_coverage=_opt_float(payload["optimized_coverage"]),
+            optimization=(
+                None if optimization is None else OptimizationResult.from_dict(optimization)
+            ),
+            conventional_experiment=(
+                None
+                if conventional_experiment is None
+                else CoverageExperiment.from_dict(conventional_experiment)
+            ),
+            optimized_experiment=(
+                None
+                if optimized_experiment is None
+                else CoverageExperiment.from_dict(optimized_experiment)
+            ),
+            self_test=None if self_test is None else SelfTestReport.from_dict(self_test),
+            self_test_fault=(
+                None
+                if payload["self_test_fault"] is None
+                else Fault.from_list(payload["self_test_fault"])
+            ),
+            lowerings=int(payload["lowerings"] or 0),
+            seconds=float(payload["seconds"] or 0.0),
+        )
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """The artifact dict minus volatile fields (timings, compile counts).
+
+        Two runs of the same spec — serial or parallel, same or different
+        process — must produce equal canonical dicts; the batch-executor
+        tests assert exactly that.
+        """
+        return _scrub_volatile(self.to_dict())
+
+
+def _opt_int(value: Optional[int]) -> Optional[int]:
+    return None if value is None else int(value)
+
+
+def _opt_float(value: Optional[float]) -> Optional[float]:
+    return None if value is None else float(value)
+
+
+def _opt_dict(value) -> Optional[Dict[str, Any]]:
+    return None if value is None else value.to_dict()
 
 
 @dataclass
@@ -131,18 +364,29 @@ class _Entry:
 
 
 class Session:
-    """Run the paper's pipeline for one or many circuits, compiling once.
+    """Convenience wrapper over the job-spec pipeline, compiling once.
+
+    The declarative face of the pipeline is :class:`repro.api.PipelineSpec`;
+    a session translates its loose constructor kwargs into the typed stage
+    configs, hands out the equivalent spec via :meth:`spec`, and delegates
+    :meth:`run` to :func:`repro.api.execute_spec` — while caching fault
+    lists, lowerings, baseline analyses, optimizations and coverage runs
+    across stages and repeated runs.
 
     Args:
         confidence: required probability of detecting every modelled fault
             (shared by the test-length computations and the optimizer).
         estimator: detection-probability estimator used by the analysis and
             optimization stages; defaults to the batched compiled COP engine
-            (:class:`~repro.analysis.compiled.BatchedCopEstimator`).
+            (:class:`~repro.analysis.compiled.BatchedCopEstimator`).  Specs
+            name estimators (``"batched"``/``"scalar"``); other estimator
+            objects remain a session-only runtime override.
         max_sweeps: coordinate-descent sweep budget of the optimizer.
         alpha: optimizer convergence threshold (relative improvement).
         bounds: allowed interval for each input probability.
-        seed: RNG seed for the fault-simulated validation patterns.
+        seed: *root* seed; the fault-simulation and self-test stages derive
+            per-stage, per-circuit seeds from it
+            (:func:`repro.api.spec.derive_seed`).
         quantization_step: grid the optimized weights are snapped to.
         drop_redundant: remove faults proven/estimated undetectable from the
             default fault list (the paper's coverage convention).  Explicit
@@ -175,6 +419,111 @@ class Session:
         self._entries: Dict[str, _Entry] = {}
 
     # ------------------------------------------------------------------ #
+    # Spec translation (the declarative face)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_spec(cls, spec: PipelineSpec) -> "Session":
+        """A fresh session configured exactly like ``spec`` describes.
+
+        Stage configs the spec omits fall back to the stage defaults, so the
+        session can still serve ad-hoc calls for those stages.
+        """
+        optimize = spec.optimize if spec.optimize is not None else OptimizeConfig()
+        quantize = spec.quantize if spec.quantize is not None else QuantizeConfig()
+        estimator: DetectionProbabilityEstimator = (
+            CopDetectionEstimator()
+            if spec.analysis.estimator == "scalar"
+            else BatchedCopEstimator()
+        )
+        return cls(
+            confidence=spec.analysis.confidence,
+            estimator=estimator,
+            max_sweeps=optimize.max_sweeps,
+            alpha=optimize.alpha,
+            bounds=tuple(optimize.bounds),
+            seed=spec.seed,
+            quantization_step=quantize.step,
+            drop_redundant=spec.analysis.drop_redundant,
+        )
+
+    def _estimator_name(self, strict: bool = True) -> str:
+        """The spec name of the session estimator (specs are declarative).
+
+        ``strict=False`` substitutes ``"batched"`` for estimator objects a
+        spec cannot name — used by the in-process :meth:`run` path, where
+        the session's own estimator object is what actually executes.
+        """
+        if isinstance(self.estimator, BatchedCopEstimator):
+            return "batched"
+        if isinstance(self.estimator, CopDetectionEstimator):
+            return "scalar"
+        if not strict:
+            return "batched"
+        raise ValueError(
+            f"estimator {type(self.estimator).__name__} has no spec name; "
+            "a PipelineSpec can only reference the 'batched' or 'scalar' "
+            "COP estimators"
+        )
+
+    def analysis_config(self, strict: bool = True) -> AnalysisConfig:
+        return AnalysisConfig(
+            confidence=self.confidence,
+            drop_redundant=self.drop_redundant,
+            estimator=self._estimator_name(strict=strict),
+        )
+
+    def optimize_config(self) -> OptimizeConfig:
+        return OptimizeConfig(
+            max_sweeps=self.max_sweeps,
+            alpha=self.alpha,
+            bounds=(float(self.bounds[0]), float(self.bounds[1])),
+        )
+
+    def quantize_config(self) -> QuantizeConfig:
+        return QuantizeConfig(step=self.quantization_step)
+
+    def spec(
+        self,
+        key: str,
+        n_patterns: Optional[int] = None,
+        circuit_ref: Optional[str] = None,
+        self_test: Optional[SelfTestConfig] = None,
+        strict: bool = True,
+    ) -> PipelineSpec:
+        """The declarative :class:`PipelineSpec` equivalent of :meth:`run`.
+
+        Args:
+            key: registered circuit key (becomes the spec label).
+            n_patterns: fault-simulation pattern budget.  ``None`` defers to
+                the executor's resolution: the paper budget for a registry
+                ``circuit_ref``, 4000 for an inline netlist (the default
+                embedding — the session does not guess a registry entry from
+                the key).
+            circuit_ref: optional registry key to reference instead of
+                embedding the inline netlist dict (smaller spec, same
+                structure — the caller asserts the equivalence).
+            self_test: optional BIST stage config to append.
+            strict: raise for estimator objects a spec cannot name;
+                ``strict=False`` records ``"batched"`` instead (what
+                :meth:`run` uses — in-process execution applies the
+                session's own estimator object regardless).
+        """
+        entry = self._entry(key)
+        circuit: Union[str, Dict[str, Any]] = (
+            circuit_ref if circuit_ref is not None else entry.circuit.to_dict()
+        )
+        return PipelineSpec(
+            circuit=circuit,
+            key=key,
+            seed=self.seed,
+            analysis=self.analysis_config(strict=strict),
+            optimize=self.optimize_config(),
+            quantize=self.quantize_config(),
+            fault_sim=FaultSimConfig(n_patterns=n_patterns),
+            self_test=self_test,
+        )
+
+    # ------------------------------------------------------------------ #
     # Registration
     # ------------------------------------------------------------------ #
     def add(
@@ -185,15 +534,31 @@ class Session:
     ) -> str:
         """Register a circuit and return its session key.
 
-        Re-adding the same circuit instance under the same key is a no-op;
-        registering a *different* circuit under an existing key is an error.
+        Re-adding the same instance — or any *structurally identical*
+        circuit (equal :meth:`~repro.circuit.netlist.Circuit.structural_hash`,
+        e.g. a fresh rebuild of the same netlist) — under an existing key is
+        a no-op that keeps the existing entry and its cached artifacts.  A
+        genuinely different structure under the same key is an error, and so
+        is re-registering with an explicit ``faults`` list that differs from
+        the entry's (a silent no-op would run the wrong fault set).
         """
         key = key if key is not None else circuit.name
         existing = self._entries.get(key)
         if existing is not None:
-            if existing.circuit is circuit:
-                return key
-            raise ValueError(f"session already holds a circuit under key {key!r}")
+            if not (
+                existing.circuit is circuit
+                or existing.circuit.structural_hash() == circuit.structural_hash()
+            ):
+                raise ValueError(
+                    f"session already holds a structurally different circuit "
+                    f"under key {key!r}"
+                )
+            if faults is not None and list(faults) != existing.faults:
+                raise ValueError(
+                    f"circuit under key {key!r} is already registered with a "
+                    "different fault list"
+                )
+            return key
         if faults is not None:
             fault_list = list(faults)
         else:
@@ -359,17 +724,20 @@ class Session:
     ) -> CoverageExperiment:
         """Fault-simulate ``n_patterns`` (weighted) random patterns (cached).
 
-        ``weights=None`` is the conventional equiprobable test.  Results are
-        cached per ``(n_patterns, weights, seed, target_coverage)`` so a
-        report regenerated twice does not repeat the simulation; the
-        underlying compiled engine is shared with every other stage through
-        the lowered IR.  Patterns are streamed chunkwise (never materialized
-        as one matrix); ``target_coverage`` stops the stream early once that
+        ``weights=None`` is the conventional equiprobable test.  ``seed=None``
+        uses the per-stage, per-circuit seed derived from the session's root
+        seed (``derive_seed(root, "fault_sim", key)``) — reproducible, and
+        uncorrelated with every other stage and circuit.  Results are cached
+        per ``(n_patterns, weights, seed, target_coverage)`` so a report
+        regenerated twice does not repeat the simulation; the underlying
+        compiled engine is shared with every other stage through the lowered
+        IR.  Patterns are streamed chunkwise (never materialized as one
+        matrix); ``target_coverage`` stops the stream early once that
         coverage fraction is reached.
         """
         entry = self._entry(key)
         self.lowered(key)
-        seed = self.seed if seed is None else seed
+        seed = self.stage_seed("fault_sim", key) if seed is None else seed
         weight_key = None if weights is None else tuple(float(w) for w in weights)
         cache_key = (
             int(n_patterns),
@@ -394,6 +762,10 @@ class Session:
             entry.coverage_cache[cache_key] = cached
         return cached
 
+    def stage_seed(self, stage: str, key: str) -> int:
+        """The derived working seed of one stage for one circuit."""
+        return derive_seed(self.seed, stage, key)
+
     # ------------------------------------------------------------------ #
     # Stage 5: self test (BILBO / signature analysis)
     # ------------------------------------------------------------------ #
@@ -413,11 +785,12 @@ class Session:
         (:mod:`repro.patterns.compiled`) and on the same lowered IR as every
         other stage; its pattern matrix, fault-free responses and golden
         signature are computed once and shared by every
-        :meth:`self_test` call with the same parameters.
+        :meth:`self_test` call with the same parameters.  ``seed=None`` uses
+        the derived ``derive_seed(root, "self_test", key)`` stage seed.
         """
         entry = self._entry(key)
         self.lowered(key)
-        seed = self.seed if seed is None else seed
+        seed = self.stage_seed("self_test", key) if seed is None else seed
         weight_key = None if weights is None else tuple(float(w) for w in weights)
         taps_key = None if misr_taps is None else tuple(misr_taps)
         cache_key = (
@@ -481,43 +854,35 @@ class Session:
     # The full pipeline
     # ------------------------------------------------------------------ #
     def run(
-        self, key: Optional[str] = None, n_patterns: int = 4_000
+        self,
+        key: Optional[str] = None,
+        n_patterns: int = 4_000,
+        self_test: Optional[SelfTestConfig] = None,
     ) -> Union[PipelineReport, List[PipelineReport]]:
-        """Run analyze → optimize → quantize → fault-simulate.
+        """Run analyze → optimize → quantize → fault-simulate [→ self-test].
+
+        Builds the declarative :meth:`spec` for the circuit and delegates to
+        :func:`repro.api.executor.execute_spec` with this session as the
+        (caching) execution context — the convenience-layer contract.
 
         Args:
             key: a single registered circuit, or ``None`` to run the pipeline
                 over every registered circuit (returning a list of reports).
             n_patterns: pattern budget of the fault-simulated validation.
+            self_test: optional BIST stage config to append to the run.
 
         The lowered IR is compiled at most once per circuit no matter how
         many stages or repeated runs consume it.
         """
         if key is None:
-            return [self.run(k, n_patterns=n_patterns) for k in self.keys()]
-        entry = self._entry(key)
-        start = time.perf_counter()
-        self.lowered(key)
-        conventional_length = self.required_length(key)
-        optimization = self.optimize(key)
-        quantized = self.quantized_weights(key)
-        conventional = self.fault_simulate(key, n_patterns)
-        optimized = self.fault_simulate(key, n_patterns, weights=quantized)
-        elapsed = time.perf_counter() - start
-        return PipelineReport(
-            key=key,
-            circuit_name=entry.circuit.name,
-            n_gates=entry.circuit.n_gates,
-            n_inputs=entry.circuit.n_inputs,
-            n_faults=len(entry.faults),
-            conventional_length=conventional_length,
-            optimized_length=optimization.test_length,
-            weights=optimization.weights,
-            quantized_weights=quantized,
-            n_patterns=n_patterns,
-            conventional_coverage=100.0 * conventional.fault_coverage,
-            optimized_coverage=100.0 * optimized.fault_coverage,
-            optimization=optimization,
-            lowerings=entry.lowerings,
-            seconds=elapsed,
-        )
+            return [
+                self.run(k, n_patterns=n_patterns, self_test=self_test)
+                for k in self.keys()
+            ]
+        from ..api.executor import execute_spec
+
+        # strict=False: a custom estimator object (a session-only runtime
+        # override) cannot be named in the spec, but the in-process executor
+        # path uses the session's estimator regardless.
+        spec = self.spec(key, n_patterns=n_patterns, self_test=self_test, strict=False)
+        return execute_spec(spec, session=self)

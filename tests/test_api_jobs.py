@@ -1,0 +1,252 @@
+"""Tests for the parallel batch executor and the spec execution path.
+
+The acceptance contract: ``run_jobs`` over the full benchmark registry with
+``parallelism=4`` returns results **bit-identical** to the serial path
+(compared via ``PipelineReport.canonical_dict``, which excludes only
+wall-clock/process-local fields), and every worker compiles each distinct
+circuit structure at most once (asserted via the per-worker compile
+counters streamed back with the results).
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    FaultSimConfig,
+    OptimizeConfig,
+    PipelineSpec,
+    SelfTestConfig,
+    derive_seed,
+    execute_spec,
+    iter_jobs,
+    resolve_n_patterns,
+    run_jobs,
+)
+from repro.circuits import alu_circuit, circuit_keys
+from repro.pipeline import PipelineReport, Session
+
+
+def canonical(reports):
+    return [report.canonical_dict() for report in reports]
+
+
+class TestDeriveSeed:
+    def test_deterministic_and_stage_circuit_separated(self):
+        assert derive_seed(1987, "fault_sim", "s1") == derive_seed(1987, "fault_sim", "s1")
+        seeds = {
+            derive_seed(1987, stage, label)
+            for stage in ("fault_sim", "self_test", "analysis")
+            for label in ("s1", "s2", "c7552")
+        }
+        assert len(seeds) == 9  # no collisions across stages x circuits
+        assert derive_seed(1987, "fault_sim", "s1") != derive_seed(1988, "fault_sim", "s1")
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError, match="stage"):
+            derive_seed(1, "not_a_stage", "s1")
+        with pytest.raises(ValueError, match="seed"):
+            derive_seed(-1, "fault_sim", "s1")
+
+    def test_seed_is_safe_for_lfsr_generators(self):
+        # Low 32 bits never all-zero (LFSR states are masked and must be != 0).
+        for label in map(str, range(200)):
+            assert derive_seed(0, "self_test", label) & 0xFFFFFFFF != 0
+
+
+class TestExecuteSpec:
+    def test_analysis_only_report_has_no_later_stages(self):
+        report = execute_spec(
+            PipelineSpec(circuit="c432", optimize=None, quantize=None, fault_sim=None)
+        )
+        assert report.conventional_length is not None
+        assert report.optimization is None
+        assert report.quantized_weights is None
+        assert report.conventional_experiment is None
+        assert report.self_test is None
+        assert report.input_names and len(report.input_names) == report.n_inputs
+
+    def test_registry_budget_resolution(self):
+        assert resolve_n_patterns(PipelineSpec(circuit="s1")) == 12_000
+        assert resolve_n_patterns(PipelineSpec(circuit="c7552")) == 4_000
+        assert (
+            resolve_n_patterns(
+                PipelineSpec(circuit="s1", fault_sim=FaultSimConfig(n_patterns=64))
+            )
+            == 64
+        )
+        inline = PipelineSpec(circuit=alu_circuit(width=2).to_dict())
+        assert resolve_n_patterns(inline) == 4_000
+
+    def test_matches_session_convenience_layer(self):
+        """Session.run (the wrapper) and execute_spec (the executor) agree."""
+        session = Session(max_sweeps=2)
+        key = session.add(alu_circuit(width=2))
+        via_session = session.run(key, n_patterns=192)
+        via_spec = execute_spec(session.spec(key, n_patterns=192))
+        assert via_session.canonical_dict() == via_spec.canonical_dict()
+
+    def test_self_test_stage_weighted_lfsr(self):
+        spec = PipelineSpec(
+            circuit="c432",
+            optimize=OptimizeConfig(max_sweeps=2),
+            fault_sim=None,
+            self_test=SelfTestConfig(n_patterns=64, inject_hardest=True),
+        )
+        report = execute_spec(spec)
+        assert report.self_test is not None
+        assert report.self_test_fault is not None
+        assert not report.self_test.passed  # injected hardest fault detected
+
+
+class TestRunJobs:
+    def test_empty_batch(self):
+        assert run_jobs([]) == []
+
+    def test_rejects_non_specs(self):
+        with pytest.raises(TypeError):
+            list(iter_jobs([{"circuit": "s1"}]))
+
+    def test_full_registry_parallel_is_bit_identical_to_serial(self):
+        """Acceptance: full registry, parallelism=4, bit-identical results,
+        at most one compilation per distinct structure per worker."""
+        specs = [
+            PipelineSpec(circuit=key, optimize=None, quantize=None, fault_sim=None)
+            for key in circuit_keys()
+        ]
+        serial = run_jobs(specs, parallelism=1)
+        results = list(iter_jobs(specs, parallelism=4))
+        assert sorted(r.index for r in results) == list(range(len(specs)))
+        parallel = [None] * len(specs)
+        jobs_per_worker = {}
+        compiles_per_worker = {}
+        for result in results:
+            parallel[result.index] = result.report
+            jobs_per_worker[result.worker_pid] = (
+                jobs_per_worker.get(result.worker_pid, 0) + 1
+            )
+            compiles_per_worker[result.worker_pid] = max(
+                compiles_per_worker.get(result.worker_pid, 0), result.worker_compiles
+            )
+        # All 12 registry circuits are structurally distinct, so "at most one
+        # compilation per distinct structure per worker" means a worker never
+        # lowers more often than the number of jobs it executed.
+        for pid, compiles in compiles_per_worker.items():
+            assert compiles <= jobs_per_worker[pid]
+        assert canonical(serial) == canonical(parallel)
+        assert [r.key for r in parallel] == circuit_keys()
+
+    def test_full_pipeline_parallel_bit_identical(self):
+        specs = [
+            PipelineSpec(
+                circuit=key,
+                optimize=OptimizeConfig(max_sweeps=2),
+                fault_sim=FaultSimConfig(n_patterns=192),
+                self_test=SelfTestConfig(n_patterns=64, inject_hardest=True),
+            )
+            for key in ("c432", "c499")
+        ]
+        serial = run_jobs(specs, parallelism=None)
+        parallel = run_jobs(specs, parallelism=2)
+        assert canonical(serial) == canonical(parallel)
+        for report in parallel:
+            assert isinstance(report, PipelineReport)
+            assert report.optimized_coverage is not None
+            assert report.self_test is not None
+
+    def test_same_structure_compiled_once_per_worker(self):
+        """Several jobs over one structure: a single worker lowers it once."""
+        circuit = alu_circuit(width=2).to_dict()
+        specs = [
+            PipelineSpec(
+                circuit=circuit,
+                key=f"job{i}",
+                seed=i,
+                optimize=None,
+                quantize=None,
+                fault_sim=FaultSimConfig(n_patterns=64),
+            )
+            for i in range(4)
+        ]
+        results = list(iter_jobs(specs, parallelism=1))
+        # Serial in-process: 4 jobs, 1 distinct structure => at most one
+        # compile in total (zero when an earlier test already cached it).
+        assert results[-1].worker_compiles <= 1
+        # Same contract through the pool: each worker executes several jobs
+        # over the one structure and must lower it at most once.
+        pooled = list(iter_jobs(specs, parallelism=2))
+        assert max(result.worker_compiles for result in pooled) <= 1
+        assert canonical([r.report for r in sorted(pooled, key=lambda r: r.index)]) == (
+            canonical([r.report for r in sorted(results, key=lambda r: r.index)])
+        )
+
+    def test_job_failure_is_reported_with_label(self):
+        specs = [PipelineSpec(circuit="no_such_circuit", fault_sim=None)]
+        with pytest.raises(KeyError):
+            run_jobs(specs, parallelism=1)
+        with pytest.raises(RuntimeError, match="no_such_circuit"):
+            run_jobs(specs, parallelism=2)
+
+
+class TestSeedPlumbing:
+    def test_distinct_stage_seeds_in_one_spec(self):
+        spec = PipelineSpec(circuit="s1", seed=1987)
+        assert spec.stage_seed("fault_sim") != spec.stage_seed("self_test")
+
+    def test_batch_circuits_get_uncorrelated_fault_sim_seeds(self):
+        specs = [
+            PipelineSpec(circuit=key, seed=1987, optimize=None, quantize=None)
+            for key in ("c432", "c499", "c880")
+        ]
+        seeds = [spec.stage_seed("fault_sim") for spec in specs]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_session_uses_derived_seed_by_default(self):
+        session = Session(max_sweeps=2, seed=1987)
+        key = session.add(alu_circuit(width=2))
+        derived = session.stage_seed("fault_sim", key)
+        default_run = session.fault_simulate(key, 128)
+        explicit_run = session.fault_simulate(key, 128, seed=derived)
+        assert default_run is explicit_run  # same cache entry: same seed
+        other = session.fault_simulate(key, 128, seed=derived + 1)
+        assert other is not default_run
+
+    def test_root_seed_changes_all_stage_streams(self):
+        a = execute_spec(
+            PipelineSpec(
+                circuit="c432",
+                seed=1,
+                optimize=None,
+                quantize=None,
+                fault_sim=FaultSimConfig(n_patterns=128),
+            )
+        )
+        b = execute_spec(
+            PipelineSpec(
+                circuit="c432",
+                seed=2,
+                optimize=None,
+                quantize=None,
+                fault_sim=FaultSimConfig(n_patterns=128),
+            )
+        )
+        assert (
+            a.conventional_experiment.result.first_detection
+            != b.conventional_experiment.result.first_detection
+        )
+
+
+class TestReportQuantities:
+    def test_weights_identical_between_serial_and_parallel(self):
+        spec = PipelineSpec(
+            circuit="c432",
+            optimize=OptimizeConfig(max_sweeps=2),
+            fault_sim=FaultSimConfig(n_patterns=128),
+        )
+        serial = execute_spec(spec)
+        (parallel,) = run_jobs([spec], parallelism=2)
+        np.testing.assert_array_equal(serial.weights, parallel.weights)
+        np.testing.assert_array_equal(
+            serial.quantized_weights, parallel.quantized_weights
+        )
+        assert serial.conventional_length == parallel.conventional_length
+        assert serial.optimization.history == parallel.optimization.history

@@ -1,0 +1,207 @@
+"""Tests for the ``python -m repro`` CLI (:mod:`repro.api.cli`).
+
+Each command is driven in-process through ``main(argv)`` with small budgets;
+the written JSON artifact files are validated by reloading them through
+``PipelineReport.from_dict`` / ``load_artifact`` — the same check the CI
+smoke job performs.
+"""
+
+import json
+
+import pytest
+
+from repro.api import PipelineSpec, load_artifact
+from repro.api.cli import main
+from repro.circuits import alu_circuit
+from repro.pipeline import PipelineReport
+
+
+def read_json(path):
+    return json.loads(path.read_text())
+
+
+class TestRunCommand:
+    def test_single_circuit_writes_loadable_report(self, tmp_path, capsys):
+        artifact = tmp_path / "c432.json"
+        rc = main(
+            [
+                "run",
+                "c432",
+                "--patterns",
+                "128",
+                "--max-sweeps",
+                "2",
+                "--json",
+                str(artifact),
+            ]
+        )
+        assert rc == 0
+        report = PipelineReport.from_dict(read_json(artifact))
+        assert report.key == "c432"
+        assert report.n_patterns == 128
+        assert report.optimized_coverage is not None
+        out = capsys.readouterr().out
+        assert "[c432]" in out and "conventional N" in out
+
+    def test_multiple_circuits_write_report_batch(self, tmp_path):
+        artifact = tmp_path / "batch.json"
+        rc = main(
+            [
+                "run",
+                "c432",
+                "c499",
+                "--analysis-only",
+                "--parallelism",
+                "2",
+                "--json",
+                str(artifact),
+            ]
+        )
+        assert rc == 0
+        reports = load_artifact(read_json(artifact))
+        assert [r.key for r in reports] == ["c432", "c499"]
+        assert all(r.optimization is None for r in reports)
+
+    def test_spec_file_input(self, tmp_path):
+        spec = PipelineSpec(
+            circuit=alu_circuit(width=2).to_dict(),
+            key="inline-job",
+            optimize=None,
+            quantize=None,
+            fault_sim=None,
+        )
+        spec_path = tmp_path / "job.json"
+        spec_path.write_text(json.dumps(spec.to_dict()))
+        artifact = tmp_path / "out.json"
+        rc = main(["run", "--spec", str(spec_path), "--json", str(artifact)])
+        assert rc == 0
+        report = PipelineReport.from_dict(read_json(artifact))
+        assert report.key == "inline-job"
+
+    def test_invalid_spec_file_fails_loudly(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"kind": "pipeline_spec", "schema_version": 99}))
+        with pytest.raises(SystemExit, match="invalid spec file"):
+            main(["run", "--spec", str(bad)])
+
+    def test_no_input_is_an_error(self, capsys):
+        assert main(["run"]) == 2
+        assert "no circuits" in capsys.readouterr().err
+
+    def test_cli_artifact_matches_in_process_run(self, tmp_path):
+        """Acceptance: the CLI artifact equals the in-process report of the
+        same spec (same seed => identical lengths, weights, coverages)."""
+        from repro.api import FaultSimConfig, OptimizeConfig, execute_spec
+
+        artifact = tmp_path / "repro.json"
+        rc = main(
+            [
+                "run",
+                "c499",
+                "--patterns",
+                "128",
+                "--max-sweeps",
+                "2",
+                "--seed",
+                "7",
+                "--json",
+                str(artifact),
+            ]
+        )
+        assert rc == 0
+        from_cli = PipelineReport.from_dict(json.loads(artifact.read_text()))
+        in_process = execute_spec(
+            PipelineSpec(
+                circuit="c499",
+                seed=7,
+                optimize=OptimizeConfig(max_sweeps=2),
+                fault_sim=FaultSimConfig(n_patterns=128),
+            )
+        )
+        assert from_cli.canonical_dict() == in_process.canonical_dict()
+
+
+class TestSweepCommand:
+    def test_sweep_selected_circuits(self, tmp_path):
+        artifact = tmp_path / "sweep.json"
+        rc = main(
+            [
+                "sweep",
+                "--circuits",
+                "c432,c499",
+                "--analysis-only",
+                "--parallelism",
+                "2",
+                "--json",
+                str(artifact),
+            ]
+        )
+        assert rc == 0
+        reports = load_artifact(read_json(artifact))
+        assert [r.key for r in reports] == ["c432", "c499"]
+
+
+class TestSelftestCommand:
+    def test_weighted_selftest_with_injection(self, tmp_path):
+        artifact = tmp_path / "selftest.json"
+        rc = main(
+            [
+                "selftest",
+                "c432",
+                "--patterns",
+                "128",
+                "--max-sweeps",
+                "2",
+                "--inject-hardest",
+                "--json",
+                str(artifact),
+            ]
+        )
+        assert rc == 0  # injected fault detected
+        report = PipelineReport.from_dict(read_json(artifact))
+        assert report.self_test is not None
+        assert report.self_test_fault is not None
+        assert not report.self_test.passed
+
+    def test_unweighted_clean_selftest_passes(self, tmp_path):
+        rc = main(
+            [
+                "selftest",
+                "c432",
+                "--patterns",
+                "64",
+                "--unweighted",
+                "--prng",
+                "--json",
+                str(tmp_path / "st.json"),
+            ]
+        )
+        assert rc == 0
+        report = PipelineReport.from_dict(read_json(tmp_path / "st.json"))
+        assert report.self_test.passed
+        assert report.optimization is None  # unweighted run skips optimize
+
+
+class TestTablesCommand:
+    def test_quick_tables_writes_loadable_rows(self, tmp_path, capsys):
+        artifact = tmp_path / "rows.json"
+        rc = main(
+            [
+                "tables",
+                "--quick",
+                "--max-sweeps",
+                "1",
+                "--parallelism",
+                "2",
+                "--json",
+                str(artifact),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 3" in out and "Table 5" in out
+        assert "Table 2" not in out  # fault-sim tables skipped in --quick
+        rows = load_artifact(read_json(artifact))
+        kinds = {type(row).__name__ for row in rows}
+        assert {"Table1Row", "Table3Row", "Table5Row", "AppendixListing"} <= kinds
+        assert not any(type(row).__name__ == "Table2Row" for row in rows)

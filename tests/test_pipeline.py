@@ -43,11 +43,32 @@ class TestRegistration:
         assert session.add(circuit, key="c") == session.add(circuit, key="c")
         assert session.keys() == ["c"]
 
+    def test_re_adding_structurally_identical_circuit_is_noop(self):
+        session = _small_session()
+        original = s1_comparator(width=4)
+        session.add(original, key="c")
+        faults = session.faults("c")
+        # A fresh, isomorphic rebuild under the same key is a no-op that
+        # keeps the existing entry and its cached artifacts.
+        assert session.add(s1_comparator(width=4), key="c") == "c"
+        assert session.circuit("c") is original
+        assert session.faults("c") is faults
+
     def test_conflicting_key_rejected(self):
         session = _small_session()
         session.add(s1_comparator(width=4), key="c")
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="structurally different"):
             session.add(alu_circuit(width=2), key="c")
+
+    def test_re_adding_with_different_fault_list_rejected(self):
+        session = _small_session()
+        circuit = s1_comparator(width=4)
+        session.add(circuit, key="c")
+        subset = session.faults("c")[:3]
+        with pytest.raises(ValueError, match="different fault list"):
+            session.add(s1_comparator(width=4), key="c", faults=subset)
+        # An identical explicit list stays a no-op.
+        assert session.add(circuit, key="c", faults=session.faults("c")) == "c"
 
     def test_unknown_key_rejected(self):
         session = _small_session()
@@ -295,6 +316,87 @@ class TestSelfTestStage:
         assert early.fault_coverage >= 0.5
         assert early.n_patterns <= full.n_patterns
         assert session.fault_simulate(key, 512, seed=11, target_coverage=0.5) is early
+
+
+class TestSpecDelegation:
+    """Session is the convenience wrapper: specs out, executor underneath."""
+
+    def test_spec_round_trips_and_matches_session_config(self):
+        import json
+
+        from repro.api import PipelineSpec
+
+        session = _small_session(confidence=0.99, seed=11, quantization_step=0.1)
+        key = session.add(alu_circuit(width=2))
+        spec = session.spec(key, n_patterns=128)
+        assert spec.label == key
+        assert spec.seed == 11
+        assert spec.analysis.confidence == 0.99
+        assert spec.optimize.max_sweeps == 2
+        assert spec.quantize.step == 0.1
+        assert spec.fault_sim.n_patterns == 128
+        assert PipelineSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+
+    def test_spec_with_registry_reference(self):
+        from repro.circuits import build_circuit
+
+        session = _small_session()
+        session.add(build_circuit("c432"), key="c432")
+        spec = session.spec("c432", circuit_ref="c432")
+        assert spec.circuit == "c432"
+        assert spec.build_circuit().structural_hash() == (
+            session.circuit("c432").structural_hash()
+        )
+
+    def test_unrepresentable_estimator_rejected_in_spec(self):
+        from repro.analysis import MonteCarloDetectionEstimator
+
+        session = _small_session(estimator=MonteCarloDetectionEstimator(n_samples=8))
+        session.add(alu_circuit(width=2), key="c")
+        with pytest.raises(ValueError, match="spec name"):
+            session.spec("c")
+
+    def test_run_still_works_with_custom_estimator(self):
+        """A session-only estimator override cannot be named in a spec, but
+        run() (the in-process path) must keep using it."""
+        from repro.analysis import MonteCarloDetectionEstimator
+
+        session = _small_session(
+            estimator=MonteCarloDetectionEstimator(n_samples=64, fixed_seed=True)
+        )
+        key = session.add(alu_circuit(width=2))
+        report = session.run(key, n_patterns=64)
+        assert report.optimization is session.optimize(key)
+        # The lenient spec names the nearest declarative estimator.
+        assert session.spec(key, strict=False).analysis.estimator == "batched"
+
+    def test_derived_stage_seeds_are_per_stage_and_per_circuit(self):
+        from repro.api import derive_seed
+
+        session = _small_session(seed=1987)
+        k1 = session.add(alu_circuit(width=2), key="one")
+        k2 = session.add(s1_comparator(width=4), key="two")
+        assert session.stage_seed("fault_sim", k1) == derive_seed(1987, "fault_sim", k1)
+        assert session.stage_seed("fault_sim", k1) != session.stage_seed("fault_sim", k2)
+        assert session.stage_seed("fault_sim", k1) != session.stage_seed("self_test", k1)
+
+    def test_self_test_default_seed_is_derived(self):
+        session = _small_session()
+        key = session.add(s1_comparator(width=4))
+        default = session.self_test_session(key, 64)
+        explicit = session.self_test_session(
+            key, 64, seed=session.stage_seed("self_test", key)
+        )
+        assert default is explicit  # same cache entry: same derived seed
+
+    def test_run_report_round_trips_through_json(self):
+        import json
+
+        session = _small_session()
+        key = session.add(alu_circuit(width=2))
+        report = session.run(key, n_patterns=128)
+        wire = json.loads(json.dumps(report.to_dict()))
+        assert PipelineReport.from_dict(wire).canonical_dict() == report.canonical_dict()
 
 
 class TestPipelineReport:
