@@ -6,7 +6,13 @@ interchangeable backends.  This ablation runs the optimizer on the same circuit
 with the three estimators shipped in this library (analytic COP, STAFAN-style
 counting, Monte-Carlo fault-simulation sampling) and compares estimation
 quality (agreement with the sampled reference) and the resulting test lengths.
+The measurement helper lives in :mod:`repro.bench.areas.ablations`.
 """
+
+if __name__ == "__main__":  # script mode: make src/ importable before repro imports
+    import conftest
+
+    conftest.ensure_repro_importable()
 
 import numpy as np
 import pytest
@@ -17,20 +23,10 @@ from repro.analysis import (
     MonteCarloDetectionEstimator,
     StafanDetectionEstimator,
 )
+from repro.bench.areas.ablations import ESTIMATOR_WIDTH, optimize_with_estimator
 from repro.circuits import s1_comparator
-from repro.core import WeightOptimizer
 from repro.experiments import format_table
 from repro.faults import collapsed_fault_list
-
-_WIDTH = 10
-
-
-def _optimize_with(estimator_name, estimator):
-    circuit = s1_comparator(width=_WIDTH)
-    faults = collapsed_fault_list(circuit)
-    optimizer = WeightOptimizer(circuit, faults=faults, estimator=estimator, max_sweeps=4)
-    result = optimizer.optimize()
-    return estimator_name, result
 
 
 @pytest.mark.benchmark(group="ablation-estimators")
@@ -44,14 +40,14 @@ def _optimize_with(estimator_name, estimator):
     ],
 )
 def test_ablation_estimator_choice(benchmark, pedantic_kwargs, name, estimator):
-    label, result = benchmark.pedantic(_optimize_with, args=(name, estimator), **pedantic_kwargs)
+    result = benchmark.pedantic(optimize_with_estimator, args=(estimator,), **pedantic_kwargs)
     print()
     print(
         format_table(
             ["estimator", "initial N", "optimized N", "sweeps", "seconds"],
-            [[label, f"{result.initial_test_length:,}", f"{result.test_length:,}",
+            [[name, f"{result.initial_test_length:,}", f"{result.test_length:,}",
               result.sweeps, f"{result.cpu_seconds:.2f}"]],
-            title=f"Ablation: estimator backend on S1 (width {_WIDTH})",
+            title=f"Ablation: estimator backend on S1 (width {ESTIMATOR_WIDTH})",
         )
     )
     # Every backend must find a distribution that beats the conventional test.
@@ -80,3 +76,7 @@ def test_estimator_agreement_with_sampling():
 
     assert rank_correlation(cop, reference) > 0.8
     assert rank_correlation(stafan, reference) > 0.8
+
+
+if __name__ == "__main__":
+    raise SystemExit(conftest.bench_script_main("ablation_estimators"))

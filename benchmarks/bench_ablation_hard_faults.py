@@ -5,34 +5,27 @@ to the objective, so each coordinate step can restrict itself to a small
 subset.  This ablation sweeps the floor on that subset (from "exactly the
 numerically relevant faults" to "half of the fault list") and reports the
 optimized test length and run time, showing the robustness/cost trade-off the
-DESIGN.md discusses.
+DESIGN.md discusses.  The measurement helper lives in
+:mod:`repro.bench.areas.ablations`.
 """
+
+if __name__ == "__main__":  # script mode: make src/ importable before repro imports
+    import conftest
+
+    conftest.ensure_repro_importable()
 
 import pytest
 
-from repro.circuits import c7552_like
-from repro.core import WeightOptimizer
+from repro.bench.areas.ablations import HARD_FAULT_FRACTIONS, optimize_with_hard_fraction
 from repro.experiments import format_table
-from repro.faults import collapsed_fault_list
-
-
-def _optimize(min_fraction):
-    circuit = c7552_like(width=12, n_blocks=1)
-    faults = collapsed_fault_list(circuit)
-    optimizer = WeightOptimizer(
-        circuit,
-        faults=faults,
-        max_sweeps=6,
-        min_hard_fraction=min_fraction,
-        min_hard_faults=1,
-    )
-    return optimizer.optimize()
 
 
 @pytest.mark.benchmark(group="ablation-hard-faults")
-@pytest.mark.parametrize("min_fraction", [0.0, 0.1, 0.25, 0.5])
+@pytest.mark.parametrize("min_fraction", list(HARD_FAULT_FRACTIONS))
 def test_ablation_hard_fault_subset(benchmark, pedantic_kwargs, min_fraction):
-    result = benchmark.pedantic(_optimize, args=(min_fraction,), **pedantic_kwargs)
+    result = benchmark.pedantic(
+        optimize_with_hard_fraction, args=(min_fraction,), **pedantic_kwargs
+    )
     print()
     print(
         format_table(
@@ -43,3 +36,7 @@ def test_ablation_hard_fault_subset(benchmark, pedantic_kwargs, min_fraction):
         )
     )
     assert result.test_length <= result.initial_test_length
+
+
+if __name__ == "__main__":
+    raise SystemExit(conftest.bench_script_main("ablation_hard_faults"))

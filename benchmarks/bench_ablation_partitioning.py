@@ -5,45 +5,24 @@ computing one optimized distribution per part when two hard faults need
 incompatible input distributions.  This bench constructs exactly that
 pathological situation — two wide detectors that want *opposite* values on the
 same shared bus — and compares the single-distribution optimum against the
-partitioned (two weight set) test.
+partitioned (two weight set) test.  The circuit constructor and the
+comparison helper live in :mod:`repro.bench.areas.ablations`.
 """
+
+if __name__ == "__main__":  # script mode: make src/ importable before repro imports
+    import conftest
+
+    conftest.ensure_repro_importable()
 
 import pytest
 
-from repro.circuit import CircuitBuilder
-from repro.circuit.library import and_tree
-from repro.core import optimize_input_probabilities, optimize_partitioned
+from repro.bench.areas.ablations import compare_partitioning
 from repro.experiments import format_table
-from repro.faults import collapsed_fault_list
-
-
-def conflicting_detectors_circuit(width: int = 12):
-    """Two wide AND detectors over the same bus, one on true, one on inverted
-    literals: their hardest faults need Hamming-distant test sets (the paper's
-    section 5.3 condition)."""
-    builder = CircuitBuilder(f"conflicting_detectors{width}")
-    bus = builder.input_bus("x", width)
-    all_ones = and_tree(builder, bus)
-    all_zeros = and_tree(builder, [builder.not_(b) for b in bus])
-    builder.output(all_ones, "all_ones")
-    builder.output(all_zeros, "all_zeros")
-    builder.output(builder.xor(all_ones, all_zeros), "either")
-    return builder.build()
-
-
-def _compare(width: int = 12):
-    circuit = conflicting_detectors_circuit(width)
-    faults = collapsed_fault_list(circuit)
-    single = optimize_input_probabilities(circuit, faults=faults, max_sweeps=6)
-    partitioned = optimize_partitioned(
-        circuit, faults=faults, max_sessions=2, max_sweeps=6
-    )
-    return single, partitioned
 
 
 @pytest.mark.benchmark(group="ablation-partitioning")
 def test_ablation_partitioned_weight_sets(benchmark, pedantic_kwargs):
-    single, partitioned = benchmark.pedantic(_compare, **pedantic_kwargs)
+    single, partitioned = benchmark.pedantic(compare_partitioning, **pedantic_kwargs)
     print()
     print(
         format_table(
@@ -63,3 +42,7 @@ def test_ablation_partitioned_weight_sets(benchmark, pedantic_kwargs):
     # single compromise distribution.
     assert partitioned.n_sessions >= 2
     assert partitioned.total_test_length < single.test_length
+
+
+if __name__ == "__main__":
+    raise SystemExit(conftest.bench_script_main("ablation_partitioning"))

@@ -4,60 +4,48 @@ The paper's appendix reports weights on a 0.05 grid; hardware weighting
 networks typically realise probabilities of the form k/2^r.  This ablation
 measures how much test length is lost when the continuous optimizer output is
 snapped to progressively coarser grids, evaluated by re-estimating the
-required test length at the quantized distribution.
+required test length at the quantized distribution.  The measurement helper
+lives in :mod:`repro.bench.areas.ablations`.
 """
+
+if __name__ == "__main__":  # script mode: make src/ importable before repro imports
+    import conftest
+
+    conftest.ensure_repro_importable()
 
 import pytest
 
-from repro.analysis import CopDetectionEstimator
-from repro.circuits import s1_comparator
-from repro.core import (
-    optimize_input_probabilities,
-    quantize_to_lfsr_grid,
-    quantize_weights,
-    required_test_length,
-)
+from repro.bench.areas.ablations import QUANTIZATION_WIDTH, lengths_per_grid
 from repro.experiments import format_table
-from repro.faults import collapsed_fault_list
 
-_WIDTH = 12
-
-
-def _lengths_per_grid():
-    circuit = s1_comparator(width=_WIDTH)
-    faults = collapsed_fault_list(circuit)
-    estimator = CopDetectionEstimator()
-    result = optimize_input_probabilities(circuit, faults=faults, max_sweeps=8)
-
-    grids = {
-        "continuous": result.weights,
-        "0.05 grid (paper appendix)": quantize_weights(result.weights, step=0.05),
-        "1/32 LFSR grid": quantize_to_lfsr_grid(result.weights, resolution=5),
-        "1/8 LFSR grid": quantize_to_lfsr_grid(result.weights, resolution=3),
-        "conventional 0.5": [0.5] * circuit.n_inputs,
-    }
-    lengths = {}
-    for label, weights in grids.items():
-        probs = estimator.detection_probabilities(circuit, faults, weights)
-        lengths[label] = required_test_length(probs).test_length
-    return lengths
+_LABELS = {
+    "continuous": "continuous",
+    "grid_0p05": "0.05 grid (paper appendix)",
+    "lfsr_1_32": "1/32 LFSR grid",
+    "lfsr_1_8": "1/8 LFSR grid",
+    "conventional": "conventional 0.5",
+}
 
 
 @pytest.mark.benchmark(group="ablation-quantization")
 def test_ablation_quantization_grid(benchmark, pedantic_kwargs):
-    lengths = benchmark.pedantic(_lengths_per_grid, **pedantic_kwargs)
+    lengths = benchmark.pedantic(lengths_per_grid, **pedantic_kwargs)
     print()
     print(
         format_table(
             ["weight grid", "required test length"],
-            [[label, f"{value:,}"] for label, value in lengths.items()],
-            title=f"Ablation: quantization grid on S1 (width {_WIDTH})",
+            [[_LABELS[key], f"{value:,}"] for key, value in lengths.items()],
+            title=f"Ablation: quantization grid on S1 (width {QUANTIZATION_WIDTH})",
         )
     )
     # Quantization to the paper's 0.05 grid must not destroy the optimization:
     # still far better than the conventional test, and within ~an order of
     # magnitude of the continuous optimum.
-    assert lengths["0.05 grid (paper appendix)"] < lengths["conventional 0.5"] / 10
-    assert lengths["0.05 grid (paper appendix)"] < 20 * lengths["continuous"]
+    assert lengths["grid_0p05"] < lengths["conventional"] / 10
+    assert lengths["grid_0p05"] < 20 * lengths["continuous"]
     # A very coarse 1/8 grid is allowed to be worse, but must still beat 0.5.
-    assert lengths["1/8 LFSR grid"] < lengths["conventional 0.5"]
+    assert lengths["lfsr_1_8"] < lengths["conventional"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(conftest.bench_script_main("ablation_quantization"))

@@ -7,6 +7,11 @@ properties: all values on the grid, strictly inside (0, 1), and clearly spread
 away from the conventional 0.5 (otherwise weighting would not help).
 """
 
+if __name__ == "__main__":  # script mode: make src/ importable before repro imports
+    import conftest
+
+    conftest.ensure_repro_importable()
+
 import numpy as np
 import pytest
 
@@ -28,3 +33,7 @@ def test_appendix_weight_listings(benchmark, pedantic_kwargs):
         assert weights.max() <= 0.95 + 1e-9
         # The optimized distribution is genuinely unequiprobable.
         assert np.abs(weights - 0.5).max() > 0.2
+
+
+if __name__ == "__main__":
+    raise SystemExit(conftest.bench_script_main("appendix"))

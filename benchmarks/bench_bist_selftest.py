@@ -3,34 +3,28 @@
 Not a paper table, but the quantity that decides whether the section 5.2
 self-test flow is usable as a workload: patterns per second of the LFSR
 weighting network and response words per second of the MISR signature
-compaction.  Since the BIST layer was rewritten on the vectorized GF(2)
-block substrate (:mod:`repro.patterns.compiled`), this bench doubles as the
-regression gate for the speedup: it times compiled pattern generation +
-signature compaction against the scalar per-bit classes on the same
-workload and asserts that both sides produce *identical* patterns and
-signatures.
+compaction.  The measurement lives in the benchmark harness
+(:mod:`repro.bench.areas.bist`), which also cross-checks that the compiled
+and scalar substrates produce bit-identical patterns and signatures.
 
 Two entry points:
 
 * pytest-benchmark tests (statistical timing, ``pytest benchmarks/``),
-* a standalone script for CI smoke runs and JSON artifacts::
+* the shared harness CLI, gated against the committed ``BENCH_bist.json``
+  trajectory::
 
-      python benchmarks/bench_bist_selftest.py --quick --min-speedup 10 --json out.json
+      python benchmarks/bench_bist_selftest.py --quick --check
+      python -m repro bench bist --quick --check           # equivalent
 """
 
-import argparse
-import json
-import sys
-import time
-from pathlib import Path
+if __name__ == "__main__":  # script mode: make src/ importable before repro imports
+    import conftest
 
-try:
-    import repro  # noqa: F401  (installed package takes precedence)
-except ImportError:  # pragma: no cover - fresh clone without `pip install -e .`
-    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    conftest.ensure_repro_importable()
 
 import numpy as np
 
+from repro.bench.areas.bist import LARGEST_CIRCUIT_KEY, RESOLUTION, SEED, workload_weights
 from repro.circuits import build_circuit
 from repro.patterns import (
     MISR,
@@ -39,20 +33,6 @@ from repro.patterns import (
     LfsrWeightedPatternGenerator,
     default_misr_width,
 )
-from repro.simulation import LogicSimulator
-
-#: Largest circuit of the registry (by gate count); the acceptance workload.
-_LARGEST_CIRCUIT_KEY = "s2"
-
-_SEED = 1987
-_RESOLUTION = 5
-
-
-def _workload_weights(n_inputs: int, seed: int = 7) -> np.ndarray:
-    """A deterministic non-trivial weight vector on the LFSR grid."""
-    rng = np.random.default_rng(seed)
-    return rng.integers(1, 32, n_inputs) / 32.0
-
 
 # --------------------------------------------------------------------------- #
 # pytest-benchmark entry points
@@ -72,12 +52,12 @@ if pytest is not None:
         ids=["compiled", "scalar"],
     )
     def test_weighted_pattern_generation_throughput(benchmark, generator_cls):
-        circuit = build_circuit(_LARGEST_CIRCUIT_KEY)
-        weights = _workload_weights(circuit.n_inputs)
+        circuit = build_circuit(LARGEST_CIRCUIT_KEY)
+        weights = workload_weights(circuit.n_inputs)
         n_patterns = 512
 
         def run():
-            return generator_cls(weights, resolution=_RESOLUTION, seed=_SEED).generate(
+            return generator_cls(weights, resolution=RESOLUTION, seed=SEED).generate(
                 n_patterns
             )
 
@@ -92,7 +72,7 @@ if pytest is not None:
         "misr_cls", [CompiledMISR, MISR], ids=["compiled", "scalar"]
     )
     def test_misr_compaction_throughput(benchmark, misr_cls):
-        circuit = build_circuit(_LARGEST_CIRCUIT_KEY)
+        circuit = build_circuit(LARGEST_CIRCUIT_KEY)
         width = default_misr_width(circuit.n_outputs)
         rng = np.random.default_rng(3)
         responses = rng.random((512, circuit.n_outputs)) < 0.5
@@ -107,134 +87,5 @@ if pytest is not None:
         )
 
 
-# --------------------------------------------------------------------------- #
-# Standalone comparison (CI smoke job, JSON artifact)
-# --------------------------------------------------------------------------- #
-def _bist_pass(generator_cls, misr_cls, weights, width, n_patterns, responses):
-    """One full BIST pattern-generation + compaction pass; returns artifacts."""
-    generator = generator_cls(weights, resolution=_RESOLUTION, seed=_SEED)
-    patterns = generator.generate(n_patterns)
-    signature = misr_cls(width).compact(responses)
-    return patterns, signature
-
-
-def run_comparison(
-    circuit_key: str = _LARGEST_CIRCUIT_KEY,
-    n_patterns: int = 2048,
-    repeats: int = 3,
-) -> dict:
-    """Time compiled vs. scalar BIST pattern generation + MISR compaction.
-
-    The circuit responses are simulated once (on the shared compiled logic
-    engine — identical for both sides) and the timed region covers exactly
-    what the compiled substrate replaced: the weighted pattern stream and
-    the signature compaction.  The run also cross-checks that both sides
-    produce bit-identical patterns and signatures — the bench doubles as an
-    equivalence test on the real workload.
-    """
-    circuit = build_circuit(circuit_key)
-    weights = _workload_weights(circuit.n_inputs)
-    width = default_misr_width(circuit.n_outputs)
-    reference = CompiledLfsrWeightedPatternGenerator(
-        weights, resolution=_RESOLUTION, seed=_SEED
-    ).generate(n_patterns)
-    responses = LogicSimulator(circuit).simulate_patterns(reference)
-
-    results = {}
-    artifacts = {}
-    for label, generator_cls, misr_cls in (
-        ("compiled", CompiledLfsrWeightedPatternGenerator, CompiledMISR),
-        ("scalar", LfsrWeightedPatternGenerator, MISR),
-    ):
-        best = None
-        for _ in range(repeats):
-            start = time.perf_counter()
-            patterns, signature = _bist_pass(
-                generator_cls, misr_cls, weights, width, n_patterns, responses
-            )
-            elapsed = time.perf_counter() - start
-            if best is None or elapsed < best:
-                best = elapsed
-        results[label] = best
-        artifacts[label] = (patterns, signature)
-
-    compiled_patterns, compiled_signature = artifacts["compiled"]
-    scalar_patterns, scalar_signature = artifacts["scalar"]
-    if not np.array_equal(compiled_patterns, scalar_patterns):
-        raise AssertionError("compiled and scalar weighting networks disagree")
-    if compiled_signature != scalar_signature:
-        raise AssertionError("compiled and scalar MISR signatures disagree")
-
-    return {
-        "circuit": circuit_key,
-        "n_inputs": circuit.n_inputs,
-        "n_outputs": circuit.n_outputs,
-        "n_patterns": n_patterns,
-        "resolution": _RESOLUTION,
-        "misr_width": width,
-        "signature": int(compiled_signature),
-        "compiled_seconds": results["compiled"],
-        "scalar_seconds": results["scalar"],
-        "compiled_patterns_per_second": n_patterns / results["compiled"],
-        "scalar_patterns_per_second": n_patterns / results["scalar"],
-        "speedup": results["scalar"] / results["compiled"],
-    }
-
-
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--circuit",
-        default=_LARGEST_CIRCUIT_KEY,
-        help="registry key of the circuit under test (default: %(default)s, "
-        "the largest registry circuit)",
-    )
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="smaller workload for CI smoke runs",
-    )
-    parser.add_argument("--json", metavar="PATH", help="write results as JSON")
-    parser.add_argument(
-        "--min-speedup",
-        type=float,
-        default=None,
-        help="exit non-zero if the compiled BIST substrate is less than this "
-        "many times faster than the scalar baseline",
-    )
-    args = parser.parse_args(argv)
-
-    # The compiled substrate's cost is nearly flat in the pattern count
-    # (fixed table builds + O(n/64/lanes) kernels) while the scalar cost is
-    # linear, so the quick workload is kept large enough that the measured
-    # speedup sits well above the CI gate even on noisy shared runners.
-    n_patterns = 1024 if args.quick else 4096
-    result = run_comparison(circuit_key=args.circuit, n_patterns=n_patterns)
-
-    print(f"circuit          : {result['circuit']} "
-          f"({result['n_inputs']} inputs, {result['n_outputs']} outputs)")
-    print(f"workload         : {result['n_patterns']} weighted patterns "
-          f"({result['resolution']}-bit network) + MISR-{result['misr_width']} compaction")
-    print(f"scalar substrate : {result['scalar_seconds']:.3f} s "
-          f"({result['scalar_patterns_per_second']:.0f} patterns/s)")
-    print(f"compiled substrate: {result['compiled_seconds']:.3f} s "
-          f"({result['compiled_patterns_per_second']:.0f} patterns/s)")
-    print(f"speedup          : {result['speedup']:.1f}x")
-
-    if args.json:
-        with open(args.json, "w") as handle:
-            json.dump(result, handle, indent=2)
-        print(f"wrote {args.json}")
-
-    if args.min_speedup is not None and result["speedup"] < args.min_speedup:
-        print(
-            f"FAIL: speedup {result['speedup']:.1f}x below required "
-            f"{args.min_speedup:.1f}x",
-            file=sys.stderr,
-        )
-        return 1
-    return 0
-
-
 if __name__ == "__main__":
-    sys.exit(main())
+    raise SystemExit(conftest.bench_script_main("bist"))

@@ -6,6 +6,11 @@ complete coverage within the 12 000-pattern budget, while the conventional
 curve saturates well below it.
 """
 
+if __name__ == "__main__":  # script mode: make src/ importable before repro imports
+    import conftest
+
+    conftest.ensure_repro_importable()
+
 import pytest
 
 from repro.experiments import format_figure2, run_figure2
@@ -22,3 +27,7 @@ def test_figure2_coverage_vs_pattern_count(benchmark, pedantic_kwargs):
     # End points: optimized approaches full coverage, conventional stalls.
     assert data.optimized[-1] > 97.0
     assert data.conventional[-1] < data.optimized[-1] - 5.0
+
+
+if __name__ == "__main__":
+    raise SystemExit(conftest.bench_script_main("figure2"))

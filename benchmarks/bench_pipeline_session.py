@@ -3,149 +3,26 @@
 Runs the full paper pipeline (analyze → optimize → quantize → fault-simulate)
 for several registry circuits through :class:`repro.pipeline.Session` and
 verifies the compile-reuse contract of the lowered-circuit IR
-(:mod:`repro.lowered`):
-
-* each circuit is lowered **exactly once** across all pipeline stages
-  (asserted via the process-wide compile counter),
-* a repeated run performs **zero** additional lowerings, and
-* a *fresh, structurally identical* rebuild of the circuits in a second
-  session also performs zero lowerings (the content-addressed cache keyed by
-  :meth:`Circuit.structural_hash`), and
-* the job-spec API round trip holds: every ``PipelineReport`` survives
-  ``to_dict`` → ``json`` → ``from_dict`` with an identical canonical dict,
-  and the session's declarative ``Session.spec`` equals its own JSON round
-  trip (the artifact seam the CLI and the batch executor rely on).
+(:mod:`repro.lowered`) plus the job-spec API round trips.  The measurement
+and the invariants live in the benchmark harness
+(:mod:`repro.bench.areas.session`).
 
 Two entry points:
 
 * a pytest smoke test (``pytest benchmarks/bench_pipeline_session.py``),
-* a standalone script for CI smoke runs and JSON artifacts::
+* the shared harness CLI, gated against the committed ``BENCH_session.json``
+  trajectory::
 
-      python benchmarks/bench_pipeline_session.py --quick --json out.json
+      python benchmarks/bench_pipeline_session.py --quick --check
+      python -m repro bench session --quick --check        # equivalent
 """
 
-import argparse
-import json
-import sys
-import time
-from pathlib import Path
+if __name__ == "__main__":  # script mode: make src/ importable before repro imports
+    import conftest
 
-try:
-    import repro  # noqa: F401  (installed package takes precedence)
-except ImportError:  # pragma: no cover - fresh clone without `pip install -e .`
-    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    conftest.ensure_repro_importable()
 
-from repro.api import PipelineSpec
-from repro.circuits import build_circuit
-from repro.lowered import compile_count, lowered_cache_info
-from repro.pipeline import PipelineReport, Session
-
-#: Default workload: the two smallest substituted ISCAS-class circuits (fast
-#: enough for CI) — override with --circuits.
-_DEFAULT_KEYS = ["c432", "c499"]
-
-_QUICK = dict(n_patterns=512, max_sweeps=2)
-_FULL = dict(n_patterns=4_000, max_sweeps=8)
-
-
-def run_session_check(keys, n_patterns, max_sweeps):
-    """Run the pipeline twice (plus a rebuilt session) and audit lowerings.
-
-    Returns a result dict with per-circuit reports and the three compile
-    counters the reuse contract constrains.
-    """
-    session = Session(confidence=0.999, max_sweeps=max_sweeps)
-    for key in keys:
-        session.add(build_circuit(key), key=key)
-
-    before = compile_count()
-    start = time.perf_counter()
-    reports = session.run(n_patterns=n_patterns)
-    first_run_seconds = time.perf_counter() - start
-    first_run_lowerings = compile_count() - before
-
-    # Job-spec API round trips: report → JSON → report and spec → JSON →
-    # spec must be exact (the seam the CLI artifacts and run_jobs use).
-    roundtrip_failures = []
-    for report in reports:
-        wire = json.loads(json.dumps(report.to_dict()))
-        if PipelineReport.from_dict(wire).canonical_dict() != report.canonical_dict():
-            roundtrip_failures.append(f"{report.key}: report JSON round trip drifted")
-    for key in keys:
-        spec = session.spec(key, n_patterns=n_patterns)
-        if PipelineSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) != spec:
-            roundtrip_failures.append(f"{key}: spec JSON round trip drifted")
-
-    start = time.perf_counter()
-    session.run(n_patterns=n_patterns)
-    second_run_seconds = time.perf_counter() - start
-    second_run_lowerings = compile_count() - before - first_run_lowerings
-
-    # Fresh session over fresh (isomorphic) circuit instances: the content-
-    # addressed cache must serve every lowering.
-    rebuilt = Session(confidence=0.999, max_sweeps=max_sweeps)
-    for key in keys:
-        rebuilt.add(build_circuit(key), key=key)
-    before_rebuilt = compile_count()
-    for key in keys:
-        rebuilt.lowered(key)
-    rebuilt_lowerings = compile_count() - before_rebuilt
-
-    return {
-        "circuits": keys,
-        "n_patterns": n_patterns,
-        "max_sweeps": max_sweeps,
-        "roundtrip_failures": roundtrip_failures,
-        "first_run_lowerings": first_run_lowerings,
-        "second_run_lowerings": second_run_lowerings,
-        "rebuilt_session_lowerings": rebuilt_lowerings,
-        "first_run_seconds": first_run_seconds,
-        "second_run_seconds": second_run_seconds,
-        "cache": lowered_cache_info(),
-        "reports": [
-            {
-                "circuit": report.key,
-                "n_gates": report.n_gates,
-                "n_faults": report.n_faults,
-                "conventional_length": report.conventional_length,
-                "optimized_length": report.optimized_length,
-                "conventional_coverage": report.conventional_coverage,
-                "optimized_coverage": report.optimized_coverage,
-                "lowerings": report.lowerings,
-            }
-            for report in reports
-        ],
-    }
-
-
-def check_reuse(result) -> list:
-    """Return the list of violated invariants (empty = pass)."""
-    failures = list(result.get("roundtrip_failures", []))
-    n = len(result["circuits"])
-    if result["first_run_lowerings"] > n:
-        failures.append(
-            f"first run lowered {result['first_run_lowerings']} times for "
-            f"{n} circuits (expected at most one lowering per circuit)"
-        )
-    for report in result["reports"]:
-        if report["lowerings"] > 1:
-            failures.append(
-                f"{report['circuit']}: {report['lowerings']} lowerings in one "
-                "session (expected at most 1)"
-            )
-    if result["second_run_lowerings"] != 0:
-        failures.append(
-            f"second run re-lowered {result['second_run_lowerings']} times "
-            "(expected 0: all stages must reuse the session's artifacts)"
-        )
-    if result["rebuilt_session_lowerings"] != 0:
-        failures.append(
-            f"rebuilt session lowered {result['rebuilt_session_lowerings']} "
-            "times (expected 0: content-addressed cache must serve isomorphic "
-            "rebuilds)"
-        )
-    return failures
-
+from repro.bench.areas.session import check_reuse, run_bench
 
 # --------------------------------------------------------------------------- #
 # pytest entry point
@@ -160,58 +37,10 @@ if pytest is not None:
 
     @pytest.mark.benchmark(group="pipeline-session")
     def test_session_compiles_each_circuit_once():
-        result = run_session_check(_DEFAULT_KEYS, **_QUICK)
+        result = run_bench(quick=True)
         failures = check_reuse(result)
         assert not failures, "; ".join(failures)
 
 
-# --------------------------------------------------------------------------- #
-# Standalone smoke check (CI job, JSON artifact)
-# --------------------------------------------------------------------------- #
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--circuits",
-        default=",".join(_DEFAULT_KEYS),
-        help="comma-separated registry keys to pipeline (default: %(default)s)",
-    )
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="smaller pattern/sweep budget for CI smoke runs",
-    )
-    parser.add_argument("--json", metavar="PATH", help="write results as JSON")
-    args = parser.parse_args(argv)
-
-    keys = [key.strip() for key in args.circuits.split(",") if key.strip()]
-    budget = _QUICK if args.quick else _FULL
-    result = run_session_check(keys, **budget)
-
-    print(f"circuits                 : {', '.join(keys)}")
-    for report in result["reports"]:
-        print(
-            f"  {report['circuit']:>8}: {report['n_gates']} gates, "
-            f"N {report['conventional_length']:,} -> {report['optimized_length']:,}, "
-            f"coverage {report['conventional_coverage']:.1f}% -> "
-            f"{report['optimized_coverage']:.1f}%, "
-            f"{report['lowerings']} lowering(s)"
-        )
-    print(f"first full run           : {result['first_run_seconds']:.2f} s, "
-          f"{result['first_run_lowerings']} lowerings")
-    print(f"repeated run             : {result['second_run_seconds']:.2f} s, "
-          f"{result['second_run_lowerings']} lowerings")
-    print(f"rebuilt (isomorphic) run : {result['rebuilt_session_lowerings']} lowerings")
-
-    if args.json:
-        with open(args.json, "w") as handle:
-            json.dump(result, handle, indent=2)
-        print(f"wrote {args.json}")
-
-    failures = check_reuse(result)
-    for failure in failures:
-        print(f"FAIL: {failure}", file=sys.stderr)
-    return 1 if failures else 0
-
-
 if __name__ == "__main__":
-    sys.exit(main())
+    raise SystemExit(conftest.bench_script_main("session"))

@@ -3,43 +3,32 @@
 Not a paper table, but the quantity that determines whether the Table 2/4
 experiments are feasible at all: patterns per second of the bit-parallel
 true-value simulator and (collapsed) faults x patterns per second of the
-fault simulator with dropping.  Since the fault-simulation substrate was
-rewritten as a compiled fault-parallel x pattern-parallel engine
-(:mod:`repro.simulation.compiled`), this bench doubles as the regression
-gate for the speedup: it times the compiled engine against the preserved
-per-fault baseline (:class:`repro.faultsim.legacy.LegacyParallelFaultSimulator`)
-on the same workload and asserts that both engines detect exactly the same
-faults at the same pattern indices.
+fault simulator with dropping.  The measurement lives in the benchmark
+harness (:mod:`repro.bench.areas.substrate`), which also cross-checks that
+the compiled and legacy engines detect exactly the same faults at the same
+pattern indices.
 
 Two entry points:
 
 * pytest-benchmark tests (statistical timing, ``pytest benchmarks/``),
-* a standalone script for CI smoke runs and JSON artifacts::
+* the shared harness CLI, gated against the committed ``BENCH_substrate.json``
+  trajectory::
 
-      python benchmarks/bench_substrate_throughput.py --quick --json out.json
+      python benchmarks/bench_substrate_throughput.py --quick --check
+      python -m repro bench substrate --quick --check      # equivalent
 """
 
-import argparse
-import json
-import sys
-import time
-from pathlib import Path
+if __name__ == "__main__":  # script mode: make src/ importable before repro imports
+    import conftest
 
-try:
-    import repro  # noqa: F401  (installed package takes precedence)
-except ImportError:  # pragma: no cover - fresh clone without `pip install -e .`
-    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    conftest.ensure_repro_importable()
 
-from repro.circuits import build_circuit, s1_comparator, s2_divider
-from repro.faults import collapsed_fault_list
+from repro.circuits import s1_comparator, s2_divider
 from repro.faultsim import LegacyParallelFaultSimulator, ParallelFaultSimulator
 from repro.patterns import WeightedPatternGenerator
 from repro.simulation import LogicSimulator
 
 _N_PATTERNS = 4096
-
-#: Largest circuit of the registry (by gate count); the acceptance workload.
-_LARGEST_CIRCUIT_KEY = "s2"
 
 
 # --------------------------------------------------------------------------- #
@@ -88,138 +77,5 @@ if pytest is not None:
         )
 
 
-# --------------------------------------------------------------------------- #
-# Standalone comparison (CI smoke job, JSON artifact)
-# --------------------------------------------------------------------------- #
-def _time_run(make_simulator, patterns, batch_size, repeats):
-    """Best-of-``repeats`` wall time for a full run from a fresh simulator.
-
-    A fresh circuit instance per repetition keeps one-time costs (kernel
-    compilation and cone precomputation) inside the measurement; taking the
-    minimum filters out scheduler noise on shared CI runners.
-    """
-    best_time, result = None, None
-    for _ in range(repeats):
-        simulator = make_simulator()
-        start = time.perf_counter()
-        result = simulator.run(patterns, batch_size=batch_size)
-        elapsed = time.perf_counter() - start
-        if best_time is None or elapsed < best_time:
-            best_time = elapsed
-    return best_time, result
-
-
-def run_comparison(
-    circuit_key: str = _LARGEST_CIRCUIT_KEY,
-    n_faults: int = 256,
-    n_patterns: int = 1024,
-    batch_size: int = 1024,
-    seed: int = 3,
-    repeats: int = 3,
-) -> dict:
-    """Time compiled vs. legacy fault simulation on the same workload.
-
-    Both engines see a fresh circuit instance per repetition, so one-time
-    costs (kernel compilation and cone precomputation for the compiled
-    engine, cone caching for the legacy engine) are included in the measured
-    wall time.  The run also cross-checks that the two engines report
-    identical first-detection indices — the bench doubles as an equivalence
-    test on the real workload.
-    """
-    entry = build_circuit(circuit_key)
-    faults_all = collapsed_fault_list(entry)
-    # An evenly strided subset keeps the legacy run affordable while sampling
-    # fault sites across the whole depth range of the circuit.
-    stride = max(1, len(faults_all) // n_faults)
-    faults = faults_all[::stride][:n_faults]
-    generator = WeightedPatternGenerator([0.5] * entry.n_inputs, seed=seed)
-    patterns = generator.generate(n_patterns)
-
-    compiled_time, compiled_result = _time_run(
-        lambda: ParallelFaultSimulator(build_circuit(circuit_key), faults),
-        patterns,
-        batch_size,
-        repeats,
-    )
-    legacy_time, legacy_result = _time_run(
-        lambda: LegacyParallelFaultSimulator(build_circuit(circuit_key), faults),
-        patterns,
-        batch_size,
-        repeats,
-    )
-
-    if compiled_result.first_detection != legacy_result.first_detection:
-        raise AssertionError(
-            "compiled and legacy engines disagree on first-detection indices"
-        )
-
-    pairs = len(faults) * n_patterns
-    return {
-        "circuit": circuit_key,
-        "n_gates": entry.n_gates,
-        "n_faults": len(faults),
-        "n_patterns": n_patterns,
-        "fault_coverage": compiled_result.fault_coverage,
-        "compiled_seconds": compiled_time,
-        "legacy_seconds": legacy_time,
-        "compiled_fault_pattern_pairs_per_second": pairs / compiled_time,
-        "legacy_fault_pattern_pairs_per_second": pairs / legacy_time,
-        "speedup": legacy_time / compiled_time,
-    }
-
-
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--circuit",
-        default=_LARGEST_CIRCUIT_KEY,
-        help="registry key of the circuit under test (default: %(default)s, "
-        "the largest registry circuit)",
-    )
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="smaller workload for CI smoke runs",
-    )
-    parser.add_argument("--json", metavar="PATH", help="write results as JSON")
-    parser.add_argument(
-        "--min-speedup",
-        type=float,
-        default=None,
-        help="exit non-zero if the compiled engine is less than this many "
-        "times faster than the legacy baseline",
-    )
-    args = parser.parse_args(argv)
-
-    if args.quick:
-        workload = dict(n_faults=96, n_patterns=256, batch_size=256)
-    else:
-        workload = dict(n_faults=256, n_patterns=1024, batch_size=1024)
-    result = run_comparison(circuit_key=args.circuit, **workload)
-
-    print(f"circuit          : {result['circuit']} ({result['n_gates']} gates)")
-    print(f"workload         : {result['n_faults']} faults x {result['n_patterns']} patterns")
-    print(f"fault coverage   : {100.0 * result['fault_coverage']:.1f}%")
-    print(f"legacy engine    : {result['legacy_seconds']:.3f} s "
-          f"({result['legacy_fault_pattern_pairs_per_second']:.0f} fault-pattern pairs/s)")
-    print(f"compiled engine  : {result['compiled_seconds']:.3f} s "
-          f"({result['compiled_fault_pattern_pairs_per_second']:.0f} fault-pattern pairs/s)")
-    print(f"speedup          : {result['speedup']:.1f}x")
-
-    if args.json:
-        with open(args.json, "w") as handle:
-            json.dump(result, handle, indent=2)
-        print(f"wrote {args.json}")
-
-    if args.min_speedup is not None and result["speedup"] < args.min_speedup:
-        print(
-            f"FAIL: speedup {result['speedup']:.1f}x below required "
-            f"{args.min_speedup:.1f}x",
-            file=sys.stderr,
-        )
-        return 1
-    return 0
-
-
 if __name__ == "__main__":
-    sys.exit(main())
+    raise SystemExit(conftest.bench_script_main("substrate"))

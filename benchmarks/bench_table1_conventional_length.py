@@ -7,6 +7,11 @@ starred circuits (S1, S2, C2670, C7552) need orders of magnitude more patterns
 than the unstarred ones.
 """
 
+if __name__ == "__main__":  # script mode: make src/ importable before repro imports
+    import conftest
+
+    conftest.ensure_repro_importable()
+
 import pytest
 
 from repro.experiments import format_table1, run_table1
@@ -29,3 +34,7 @@ def test_table1_conventional_test_lengths(benchmark, pedantic_kwargs):
     assert max(hard_lengths) > 100 * max(easy_lengths) or max(hard_lengths) > 10**6
     # S1's equality chain makes it one of the hardest circuits, as in the paper.
     assert by_key["s1"].measured_length > 10**6
+
+
+if __name__ == "__main__":
+    raise SystemExit(conftest.bench_script_main("table1"))

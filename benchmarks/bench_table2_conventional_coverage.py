@@ -6,6 +6,11 @@ verify: every starred circuit is left with a substantial number of undetected
 faults, i.e. conventional random BIST is not viable for them.
 """
 
+if __name__ == "__main__":  # script mode: make src/ importable before repro imports
+    import conftest
+
+    conftest.ensure_repro_importable()
+
 import pytest
 
 from repro.experiments import format_table2, run_table2
@@ -22,3 +27,7 @@ def test_table2_conventional_coverage(benchmark, pedantic_kwargs):
         # likewise be clearly below complete coverage with undetected faults left.
         assert row.measured_coverage < 97.0, row
         assert row.n_undetected > 0, row
+
+
+if __name__ == "__main__":
+    raise SystemExit(conftest.bench_script_main("table2"))

@@ -7,6 +7,11 @@ large factor everywhere (the paper reports 4-7 orders of magnitude on the
 original netlists).
 """
 
+if __name__ == "__main__":  # script mode: make src/ importable before repro imports
+    import conftest
+
+    conftest.ensure_repro_importable()
+
 import pytest
 
 from repro.experiments import format_table3, run_table3
@@ -26,3 +31,7 @@ def test_table3_optimized_test_lengths(benchmark, pedantic_kwargs):
     # magnitude on the substituted S1 and a >= 5x gain on every starred circuit.
     assert by_key["s1"].improvement_factor > 1_000
     assert all(row.improvement_factor >= 5 for row in rows)
+
+
+if __name__ == "__main__":
+    raise SystemExit(conftest.bench_script_main("table3"))

@@ -6,6 +6,11 @@ rises sharply on every starred circuit compared to the conventional test
 (paper: 77-94 % -> 98.9-99.7 %).
 """
 
+if __name__ == "__main__":  # script mode: make src/ importable before repro imports
+    import conftest
+
+    conftest.ensure_repro_importable()
+
 import pytest
 
 from repro.experiments import format_table2, format_table4, run_table2, run_table4
@@ -31,3 +36,7 @@ def test_table4_optimized_coverage(benchmark, pedantic_kwargs):
     # reaches that on at least three of them.  The scaled-down divider (S2) is
     # the documented exception — see EXPERIMENTS.md, "Table 4" deviation note.
     assert sum(row.measured_coverage >= 98.0 for row in rows) >= 3
+
+
+if __name__ == "__main__":
+    raise SystemExit(conftest.bench_script_main("table4"))

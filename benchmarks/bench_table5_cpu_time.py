@@ -12,23 +12,19 @@ different ways).
 Two entry points:
 
 * pytest-benchmark tests (statistical timing, ``pytest benchmarks/``),
-* a standalone script for CI smoke runs and JSON artifacts::
+* the shared harness CLI, gated against the committed ``BENCH_table5.json``
+  trajectory::
 
-      python benchmarks/bench_table5_cpu_time.py --quick --json out.json
+      python benchmarks/bench_table5_cpu_time.py --quick --check
+      python -m repro bench table5 --quick --check         # equivalent
 """
 
-import argparse
-import json
-import sys
-from pathlib import Path
+if __name__ == "__main__":  # script mode: make src/ importable before repro imports
+    import conftest
 
-try:
-    import repro  # noqa: F401  (installed package takes precedence)
-except ImportError:  # pragma: no cover - fresh clone without `pip install -e .`
-    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    conftest.ensure_repro_importable()
 
 from repro.experiments import (
-    clear_caches,
     format_table5,
     format_table5_speedup,
     run_table5,
@@ -75,7 +71,7 @@ if pytest is not None:
             )
         # Locally measured band is 5-7x; assert below it so a loaded machine
         # cannot fail the run spuriously while real regressions still trip it
-        # (the standalone CLI gate accepts --min-speedup for stricter checks).
+        # (the harness CLI gates the committed trajectory more tightly).
         largest = next(row for row in rows if row.key == _LARGEST_CIRCUIT_KEY)
         assert largest.speedup >= 4.0, (
             f"batched estimator only {largest.speedup:.1f}x faster than the "
@@ -83,87 +79,5 @@ if pytest is not None:
         )
 
 
-# --------------------------------------------------------------------------- #
-# Standalone comparison (CI smoke job, JSON artifact)
-# --------------------------------------------------------------------------- #
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--circuit",
-        default=None,
-        help="registry key of a single circuit to compare (default: all four "
-        "hard circuits)",
-    )
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help=f"compare only the largest registry circuit "
-        f"({_LARGEST_CIRCUIT_KEY}) for CI smoke runs",
-    )
-    parser.add_argument("--json", metavar="PATH", help="write results as JSON")
-    parser.add_argument(
-        "--min-speedup",
-        type=float,
-        default=None,
-        help="exit non-zero if the batched estimator is less than this many "
-        "times faster than the scalar reference on the largest compared "
-        "circuit",
-    )
-    args = parser.parse_args(argv)
-
-    if args.circuit is not None:
-        keys = [args.circuit]
-    elif args.quick:
-        keys = [_LARGEST_CIRCUIT_KEY]
-    else:
-        keys = None
-    clear_caches()
-    rows = run_table5_speedup(keys=keys)
-    if not rows:
-        print(f"no hard circuit matches {keys!r}", file=sys.stderr)
-        return 2
-
-    print(format_table5_speedup(rows))
-
-    if args.json:
-        payload = [
-            {
-                "circuit": row.key,
-                "n_gates": row.n_gates,
-                "n_inputs": row.n_inputs,
-                "n_faults": row.n_faults,
-                "scalar_seconds": row.scalar_seconds,
-                "batched_seconds": row.batched_seconds,
-                "speedup": row.speedup,
-                "test_length": row.test_length,
-                "histories_equal": row.histories_equal,
-            }
-            for row in rows
-        ]
-        with open(args.json, "w") as handle:
-            json.dump(payload, handle, indent=2)
-        print(f"wrote {args.json}")
-
-    failed = False
-    for row in rows:
-        if not row.histories_equal:
-            print(
-                f"FAIL: {row.paper_name}: batched and scalar test-length "
-                "histories differ",
-                file=sys.stderr,
-            )
-            failed = True
-    if args.min_speedup is not None:
-        largest = max(rows, key=lambda row: row.n_gates)
-        if largest.speedup < args.min_speedup:
-            print(
-                f"FAIL: speedup {largest.speedup:.1f}x on {largest.paper_name} "
-                f"below required {args.min_speedup:.1f}x",
-                file=sys.stderr,
-            )
-            failed = True
-    return 1 if failed else 0
-
-
 if __name__ == "__main__":
-    sys.exit(main())
+    raise SystemExit(conftest.bench_script_main("table5"))

@@ -6,7 +6,8 @@ module maps the tags back to their types:
 
 * :func:`load_artifact` rebuilds any artifact dict (a ``PipelineReport``, a
   ``CoverageExperiment``, a ``PipelineSpec``, an experiment table row, a
-  ``report_batch`` file written by the CLI, ...);
+  ``report_batch`` file written by the CLI, a ``BenchResult`` /
+  ``BenchTrajectory`` from the benchmark harness, ...);
 * :func:`row_to_dict` / :func:`row_from_dict` serialize the flat experiment
   table-row dataclasses (Tables 1–5, the Figure 2 curves and the appendix
   listings) so ``python -m repro tables --json`` emits loadable rows.
@@ -145,6 +146,14 @@ def load_artifact(data: Mapping[str, Any]) -> Any:
             "self_test_config": spec_module.SelfTestConfig,
         }
         return config_types[kind].from_dict(data)
+    if kind == "bench_result":
+        from ..bench.artifacts import BenchResult
+
+        return BenchResult.from_dict(data)
+    if kind == "bench_trajectory":
+        from ..bench.artifacts import BenchTrajectory
+
+        return BenchTrajectory.from_dict(data)
     if kind == "experiment_rows":
         payload = untag(data, "experiment_rows", required=("rows",))
         return [row_from_dict(entry) for entry in payload["rows"]]

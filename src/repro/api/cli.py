@@ -23,6 +23,12 @@ spec files) and writing JSON artifact files that round-trip through
     (:func:`repro.experiments.batch.suite_specs`) and print them; ``--json``
     writes the rows as an ``experiment_rows`` artifact.
 
+``bench``
+    The benchmark harness (:mod:`repro.bench.cli`): run benchmark areas,
+    compare against the committed ``BENCH_<area>.json`` perf trajectories,
+    gate regressions (``--check``) and record new points (``--update``).
+    All arguments after ``bench`` are handled by the bench CLI.
+
 Examples::
 
     python -m repro run s1 --json s1.json
@@ -31,6 +37,9 @@ Examples::
     python -m repro sweep --parallelism 4 --analysis-only --json sweep.json
     python -m repro selftest s1 --patterns 2000 --inject-hardest
     python -m repro tables --quick --parallelism 2 --json rows.json
+    python -m repro bench --quick --check
+    python -m repro bench substrate --update
+    python -m repro bench report
 """
 
 from __future__ import annotations
@@ -329,9 +338,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(tables)
     tables.set_defaults(func=_cmd_tables)
+
+    commands.add_parser(
+        "bench",
+        help="run benchmark areas and gate the committed perf trajectory "
+        "(see 'python -m repro bench --help')",
+        add_help=False,
+    )
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # The bench harness owns its own argv space (areas, --check, --update,
+    # report, ...) — hand everything after "bench" through untouched.
+    if argv and argv[0] == "bench":
+        from ..bench.cli import main as bench_main
+
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     return args.func(args)

@@ -1,0 +1,5 @@
+"""Benchmark-area implementations; importing this package registers them all."""
+
+from . import ablations, bist, experiments, session, substrate, table5
+
+__all__ = ["ablations", "bist", "experiments", "session", "substrate", "table5"]

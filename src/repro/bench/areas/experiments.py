@@ -1,0 +1,118 @@
+"""Bench areas for the paper-table experiments (tables 1–4, figure 2, appendix).
+
+These areas wrap the :mod:`repro.experiments` runners so every benchmark in
+``benchmarks/`` is reachable through ``python -m repro bench <area>``.  They
+are *informational* (``gated=False``): no committed trajectory, no CI gate —
+the correctness shape checks live in the pytest benches and the tier-1 suite.
+The runners share the process-wide experiment cache
+(:mod:`repro.experiments.suite`), so timings reflect one PROTEST-style run
+feeding all tables, exactly like ``pytest benchmarks/`` measures them.
+
+The paper's pattern budgets are fixed by the experiment definitions, so the
+``--quick`` flag only tags the result's mode; the workload is identical.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ...experiments import (
+    run_appendix,
+    run_figure2,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+from ..artifacts import BenchResult
+from ..registry import BenchArea, register_area
+from ..runner import BenchRunner
+
+
+def _experiment_area(name: str, title: str, collect: Callable) -> BenchArea:
+    def run_bench(quick: bool = False) -> BenchResult:
+        runner = BenchRunner(name, quick=quick)
+        with runner.timed("run"):
+            value = collect(runner)
+        del value
+        return runner.result()
+
+    return register_area(BenchArea(name=name, title=title, run=run_bench))
+
+
+def _collect_table1(runner: BenchRunner):
+    rows = run_table1()
+    runner.workload(n_circuits=len(rows))
+    for row in rows:
+        if row.hard:
+            runner.counter(f"{row.key}_length", row.measured_length)
+    runner.counter("max_easy_length", max(r.measured_length for r in rows if not r.hard))
+    return rows
+
+
+def _collect_table2(runner: BenchRunner):
+    rows = run_table2()
+    runner.workload(n_circuits=len(rows))
+    for row in rows:
+        runner.metric(f"{row.key}_coverage_percent", row.measured_coverage)
+        runner.counter(f"{row.key}_undetected", row.n_undetected)
+    return rows
+
+
+def _collect_table3(runner: BenchRunner):
+    rows = run_table3()
+    runner.workload(n_circuits=len(rows))
+    for row in rows:
+        runner.counter(f"{row.key}_optimized_length", row.optimized_length)
+        runner.metric(f"{row.key}_improvement", row.improvement_factor)
+    return rows
+
+
+def _collect_table4(runner: BenchRunner):
+    rows = run_table4()
+    runner.workload(n_circuits=len(rows))
+    for row in rows:
+        runner.metric(f"{row.key}_coverage_percent", row.measured_coverage)
+        runner.counter(f"{row.key}_undetected", row.n_undetected)
+    return rows
+
+
+def _collect_figure2(runner: BenchRunner):
+    data = run_figure2()
+    runner.workload(circuit=data.circuit_name, n_points=len(data.points))
+    runner.metric("final_conventional_coverage", data.conventional[-1])
+    runner.metric("final_optimized_coverage", data.optimized[-1])
+    runner.metric("crossover_gap", data.crossover_gap())
+    return data
+
+
+def _collect_appendix(runner: BenchRunner):
+    listings = run_appendix()
+    runner.workload(n_listings=len(listings))
+    for listing in listings:
+        weights = np.asarray(listing.weights)
+        runner.counter(f"{listing.circuit_key}_n_inputs", len(listing.weights))
+        runner.metric(
+            f"{listing.circuit_key}_max_deviation", float(np.abs(weights - 0.5).max())
+        )
+    return listings
+
+
+_experiment_area(
+    "table1", "Table 1: conventional (equiprobable) test lengths", _collect_table1
+)
+_experiment_area(
+    "table2", "Table 2: conventional random-pattern fault coverage", _collect_table2
+)
+_experiment_area("table3", "Table 3: optimized test lengths", _collect_table3)
+_experiment_area(
+    "table4", "Table 4: optimized random-pattern fault coverage", _collect_table4
+)
+_experiment_area(
+    "figure2", "Figure 2: coverage vs. pattern count on S1", _collect_figure2
+)
+_experiment_area(
+    "appendix", "Appendix: optimized input-probability listings", _collect_appendix
+)

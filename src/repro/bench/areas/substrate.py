@@ -1,0 +1,106 @@
+"""Bench area ``substrate`` — compiled fault-simulation engine vs. legacy.
+
+The quantity that decides whether the Table 2/4 experiments are feasible:
+(collapsed) faults x patterns per second of the fault simulator with
+dropping.  Times the compiled fault-parallel x pattern-parallel engine
+(:mod:`repro.simulation.compiled`) against the preserved per-fault baseline
+(:class:`repro.faultsim.legacy.LegacyParallelFaultSimulator`) on the same
+workload and cross-checks that both engines detect exactly the same faults
+at the same pattern indices — the bench doubles as an equivalence test.
+"""
+
+from __future__ import annotations
+
+from ...circuits import build_circuit
+from ...faults import collapsed_fault_list
+from ...faultsim import LegacyParallelFaultSimulator, ParallelFaultSimulator
+from ...patterns import WeightedPatternGenerator
+from ..artifacts import BenchResult
+from ..compare import RSS_POLICY, MetricPolicy
+from ..registry import BenchArea, register_area
+from ..runner import BenchRunner
+
+#: Largest circuit of the registry (by gate count); the acceptance workload.
+LARGEST_CIRCUIT_KEY = "s2"
+
+_QUICK = dict(n_faults=96, n_patterns=256, batch_size=256)
+_FULL = dict(n_faults=256, n_patterns=1024, batch_size=1024)
+
+
+def run_bench(
+    quick: bool = False,
+    circuit_key: str = LARGEST_CIRCUIT_KEY,
+    seed: int = 3,
+    repeats: int = 3,
+) -> BenchResult:
+    """Time compiled vs. legacy fault simulation on the same workload.
+
+    Both engines see a fresh circuit instance per repetition, so one-time
+    costs (kernel compilation, cone precomputation) stay inside the measured
+    wall time, exactly as the retired standalone script measured them.
+    """
+    workload = _QUICK if quick else _FULL
+    n_faults, n_patterns, batch_size = (
+        workload["n_faults"],
+        workload["n_patterns"],
+        workload["batch_size"],
+    )
+    entry = build_circuit(circuit_key)
+    faults_all = collapsed_fault_list(entry)
+    # An evenly strided subset keeps the legacy run affordable while sampling
+    # fault sites across the whole depth range of the circuit.
+    stride = max(1, len(faults_all) // n_faults)
+    faults = faults_all[::stride][:n_faults]
+    generator = WeightedPatternGenerator([0.5] * entry.n_inputs, seed=seed)
+    patterns = generator.generate(n_patterns)
+
+    runner = BenchRunner("substrate", quick=quick, repeats=repeats)
+    runner.workload(
+        circuit=circuit_key,
+        n_gates=entry.n_gates,
+        n_faults=len(faults),
+        n_patterns=n_patterns,
+        batch_size=batch_size,
+    )
+
+    compiled = runner.measure(
+        "compiled",
+        lambda: ParallelFaultSimulator(build_circuit(circuit_key), faults).run(
+            patterns, batch_size=batch_size
+        ),
+    )
+    legacy = runner.measure(
+        "legacy",
+        lambda: LegacyParallelFaultSimulator(build_circuit(circuit_key), faults).run(
+            patterns, batch_size=batch_size
+        ),
+    )
+
+    if compiled.value.first_detection != legacy.value.first_detection:
+        raise AssertionError(
+            "compiled and legacy engines disagree on first-detection indices"
+        )
+
+    pairs = len(faults) * n_patterns
+    runner.metric("fault_coverage", compiled.value.fault_coverage)
+    runner.metric("compiled_pairs_per_second", pairs / compiled.best_seconds)
+    runner.metric("legacy_pairs_per_second", pairs / legacy.best_seconds)
+    return runner.result(speedup=("legacy", "compiled"))
+
+
+AREA = register_area(
+    BenchArea(
+        name="substrate",
+        title="fault-simulation substrate: compiled vs. legacy engine",
+        run=run_bench,
+        policies={
+            # Speedup ratios are machine-portable; the floor keeps the old
+            # fixed --min-speedup 5 CI gate as a backstop.
+            "speedup": MetricPolicy(direction="higher", rel_tol=0.4, floor=5.0),
+            # Detection counts are integer-exact for a fixed seed.
+            "fault_coverage": MetricPolicy(direction="higher", abs_tol=1e-9),
+            "peak_rss_bytes": RSS_POLICY,
+        },
+        gated=True,
+    )
+)

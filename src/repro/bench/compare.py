@@ -1,0 +1,250 @@
+"""Regression classification against the committed perf trajectory.
+
+The gate compares a fresh :class:`~repro.bench.artifacts.BenchResult` to the
+last committed point of the same mode in ``BENCH_<area>.json`` and classifies
+every metric and counter:
+
+* ``improved`` — strictly better than the baseline,
+* ``ok`` — equal, or worse within the metric's tolerance,
+* ``regressed`` — worse beyond tolerance (fails ``--check`` when gated),
+* ``changed`` — an ``exact``-direction value drifted (deterministic
+  counters such as compile counts, test lengths, signatures),
+* ``floored`` — below the metric's hard floor, the old ``--min-speedup``
+  backstop that still applies when no baseline exists,
+* ``missing`` — no committed baseline point of this mode.
+
+Tolerances are per-metric :class:`MetricPolicy` values declared by each
+benchmark area.  Machine-dependent absolute numbers (throughput, peak RSS)
+are classified but not gated (``gate=False``) — committed baselines travel
+between the author's machine and CI runners, so only machine-portable
+quantities (speedup ratios, deterministic counters and coverages) fail CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from .artifacts import BenchResult
+
+__all__ = [
+    "MetricPolicy",
+    "MetricDelta",
+    "Comparison",
+    "DEFAULT_POLICY",
+    "RSS_POLICY",
+    "EXACT_COUNTER_POLICY",
+    "compare_results",
+    "format_comparison",
+]
+
+_DIRECTIONS = ("higher", "lower", "exact")
+
+
+@dataclass(frozen=True)
+class MetricPolicy:
+    """How one metric is classified against its committed baseline.
+
+    Attributes:
+        direction: ``higher`` / ``lower`` = which way is better; ``exact``
+            = any drift is a behavioural change.
+        rel_tol: allowed fractional worsening relative to the baseline
+            (0.4 = a 40 % drop of a higher-is-better metric still passes).
+        abs_tol: allowed absolute worsening, added to the relative slack.
+        gate: whether a regression of this metric fails ``--check``.
+        floor: hard backstop (in the *good* direction) that applies even
+            without a baseline — the legacy fixed ``--min-speedup`` gates.
+    """
+
+    direction: str = "higher"
+    rel_tol: float = 0.0
+    abs_tol: float = 0.0
+    gate: bool = True
+    floor: Optional[float] = None
+
+    def __post_init__(self):
+        if self.direction not in _DIRECTIONS:
+            raise ValueError(
+                f"direction must be one of {_DIRECTIONS}, got {self.direction!r}"
+            )
+        if self.rel_tol < 0 or self.abs_tol < 0:
+            raise ValueError("tolerances must be non-negative")
+
+
+#: Untracked metrics: classified informationally, never failing the gate.
+#: The 10 % slack keeps run-to-run noise from reading as "regressed".
+DEFAULT_POLICY = MetricPolicy(direction="higher", rel_tol=0.1, gate=False)
+
+#: Peak RSS: lower is better, but absolute memory is machine/numpy-version
+#: dependent — track it, do not gate it.
+RSS_POLICY = MetricPolicy(direction="lower", rel_tol=0.5, gate=False)
+
+#: Counters default to "must not drift": deterministic integers.
+EXACT_COUNTER_POLICY = MetricPolicy(direction="exact", gate=True)
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """Classification of one metric against the baseline point."""
+
+    name: str
+    value: float
+    baseline: Optional[float]
+    status: str  # improved | ok | regressed | changed | floored | missing
+    gate: bool
+    note: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.gate and self.status in ("regressed", "changed", "floored")
+
+
+def classify(name: str, value: float, baseline: Optional[float], policy: MetricPolicy) -> MetricDelta:
+    """Classify one value against its baseline under ``policy``."""
+    if policy.floor is not None:
+        below = value < policy.floor if policy.direction != "lower" else value > policy.floor
+        if below:
+            return MetricDelta(
+                name=name,
+                value=value,
+                baseline=baseline,
+                status="floored",
+                gate=policy.gate,
+                note=f"hard floor {policy.floor:g}",
+            )
+    if baseline is None:
+        return MetricDelta(name, value, None, "missing", gate=policy.gate)
+    if policy.direction == "exact":
+        status = "ok" if value == baseline else "changed"
+        return MetricDelta(name, value, baseline, status, gate=policy.gate)
+    worse = (baseline - value) if policy.direction == "higher" else (value - baseline)
+    if worse > policy.rel_tol * abs(baseline) + policy.abs_tol:
+        return MetricDelta(
+            name,
+            value,
+            baseline,
+            "regressed",
+            gate=policy.gate,
+            note=f"tolerance rel {policy.rel_tol:g} abs {policy.abs_tol:g}",
+        )
+    status = "improved" if worse < 0 else "ok"
+    return MetricDelta(name, value, baseline, status, gate=policy.gate)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """All metric/counter classifications of one candidate result."""
+
+    area: str
+    quick: bool
+    deltas: tuple
+    baseline_missing: bool
+
+    def failures(self) -> List[MetricDelta]:
+        return [delta for delta in self.deltas if delta.failed]
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures()
+
+
+def compare_results(
+    result: BenchResult,
+    baseline: Optional[BenchResult],
+    policies: Mapping[str, MetricPolicy],
+) -> Comparison:
+    """Classify every metric and counter of ``result`` against ``baseline``.
+
+    Metrics fall back to :data:`DEFAULT_POLICY` (tracked, ungated) when the
+    area declares no policy for them; counters fall back to
+    :data:`EXACT_COUNTER_POLICY` (any drift fails).  A metric present in the
+    baseline but absent from the candidate is reported as a gated
+    ``changed`` delta — silently dropping a gated number must not pass.
+    """
+    deltas = []
+    baseline_metrics: Dict[str, float] = dict(baseline.metrics) if baseline else {}
+    baseline_counters: Dict[str, int] = dict(baseline.counters) if baseline else {}
+    for name, value in result.metrics.items():
+        policy = policies.get(name, DEFAULT_POLICY)
+        deltas.append(classify(name, value, baseline_metrics.pop(name, None), policy))
+    for name, value in result.counters.items():
+        policy = policies.get(name, EXACT_COUNTER_POLICY)
+        deltas.append(classify(name, value, baseline_counters.pop(name, None), policy))
+    if result.peak_rss_bytes is not None:
+        deltas.append(
+            classify(
+                "peak_rss_bytes",
+                result.peak_rss_bytes,
+                baseline.peak_rss_bytes if baseline else None,
+                policies.get("peak_rss_bytes", RSS_POLICY),
+            )
+        )
+    leftovers = [(baseline_metrics, DEFAULT_POLICY), (baseline_counters, EXACT_COUNTER_POLICY)]
+    for leftover, fallback in leftovers:
+        for name, value in leftover.items():
+            policy = policies.get(name, fallback)
+            if not policy.gate:
+                continue
+            deltas.append(
+                MetricDelta(
+                    name=name,
+                    value=float("nan"),
+                    baseline=value,
+                    status="changed",
+                    gate=True,
+                    note="metric disappeared from the candidate result",
+                )
+            )
+    return Comparison(
+        area=result.area,
+        quick=result.quick,
+        deltas=tuple(deltas),
+        baseline_missing=baseline is None,
+    )
+
+
+_STATUS_MARK = {
+    "improved": "+",
+    "ok": "=",
+    "regressed": "!",
+    "changed": "!",
+    "floored": "!",
+    "missing": "?",
+}
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, int) or float(value).is_integer():
+        return f"{int(value):,}"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:.4g}"
+
+
+def format_comparison(comparison: Comparison) -> str:
+    """Render one comparison as the per-metric delta table."""
+    mode = "quick" if comparison.quick else "full"
+    lines = [f"{comparison.area} ({mode}) vs last committed point:"]
+    if comparison.baseline_missing:
+        lines[0] = (
+            f"{comparison.area} ({mode}): no committed baseline point of this "
+            "mode (run with --update to record one)"
+        )
+    width = max((len(delta.name) for delta in comparison.deltas), default=6)
+    for delta in comparison.deltas:
+        change = ""
+        if delta.baseline not in (None, 0) and delta.status not in ("missing",):
+            try:
+                change = f" ({100.0 * (delta.value - delta.baseline) / abs(delta.baseline):+.1f}%)"
+            except (TypeError, ZeroDivisionError):
+                change = ""
+        gate = "gated" if delta.gate else "info"
+        note = f"  [{delta.note}]" if delta.note else ""
+        lines.append(
+            f"  {_STATUS_MARK[delta.status]} {delta.name:<{width}}  "
+            f"{_fmt(delta.baseline):>14} -> {_fmt(delta.value):>14}{change}  "
+            f"{delta.status:<9} {gate}{note}"
+        )
+    return "\n".join(lines)
