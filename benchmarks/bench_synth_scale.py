@@ -1,0 +1,81 @@
+"""Synthetic-netlist scale-out — generate, lower and analyze at 10^5 gates.
+
+The registry circuits stop at a few thousand gates; the seeded synthetic
+netlist generator opens the 10^5-gate regime the paper's industrial circuits
+occupy.  The measurement lives in the benchmark harness
+(:mod:`repro.bench.areas.synth`): timed generation with a structural
+fingerprint pin, a cold lowering, scalar-vs-batched COP detection
+probabilities (gated speedup + exact cross-check) and compiled fault-sim
+throughput on the generated circuit.
+
+Two entry points:
+
+* pytest-benchmark tests (statistical timing, ``pytest benchmarks/``),
+* the shared harness CLI, gated against the committed ``BENCH_synth.json``
+  trajectory::
+
+      python benchmarks/bench_synth_scale.py --quick --check
+      python -m repro bench synth --quick --check          # equivalent
+"""
+
+if __name__ == "__main__":  # script mode: make src/ importable before repro imports
+    import conftest
+
+    conftest.ensure_repro_importable()
+
+from repro.analysis import BatchedCopEstimator, CopDetectionEstimator
+from repro.circuits import GeneratorSpec, generate_circuit
+from repro.faults import collapsed_fault_list
+
+# pytest-benchmark sizing: large enough to be meaningfully "synthetic scale",
+# small enough for statistical repeats (the 10^5-gate point lives in the
+# harness area's full mode).
+_SPEC = GeneratorSpec(n_inputs=96, n_gates=8_000, depth=24, seed=11, name="synth8k")
+_N_FAULTS = 128
+
+
+# --------------------------------------------------------------------------- #
+# pytest-benchmark entry points
+# --------------------------------------------------------------------------- #
+try:
+    import pytest
+except ImportError:  # pragma: no cover - script mode without pytest
+    pytest = None
+
+
+if pytest is not None:
+
+    @pytest.mark.benchmark(group="synth-generate")
+    def test_generation_throughput(benchmark):
+        circuit = benchmark(generate_circuit, _SPEC)
+        assert circuit.n_gates == _SPEC.n_gates
+        benchmark.extra_info["gates_per_second"] = (
+            _SPEC.n_gates / benchmark.stats["mean"]
+        )
+
+    @pytest.mark.benchmark(group="synth-cop")
+    @pytest.mark.parametrize(
+        "estimator",
+        [CopDetectionEstimator, BatchedCopEstimator],
+        ids=["scalar", "batched"],
+    )
+    def test_cop_estimation_at_scale(benchmark, estimator):
+        circuit = generate_circuit(_SPEC)
+        faults_all = collapsed_fault_list(circuit)
+        stride = max(1, len(faults_all) // _N_FAULTS)
+        faults = faults_all[::stride][:_N_FAULTS]
+        input_probs = [0.5] * circuit.n_inputs
+
+        probs = benchmark.pedantic(
+            lambda: estimator().detection_probabilities(circuit, faults, input_probs),
+            rounds=3,
+            iterations=1,
+            warmup_rounds=1,
+        )
+        assert probs.shape == (len(faults),)
+        benchmark.extra_info["gates"] = circuit.n_gates
+        benchmark.extra_info["faults"] = len(faults)
+
+
+if __name__ == "__main__":
+    raise SystemExit(conftest.bench_script_main("synth"))

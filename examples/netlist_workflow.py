@@ -10,7 +10,11 @@ shows the interchange workflow:
 3. print a testability report (structure, signal-probability bounds from the
    cutting algorithm, hardest faults),
 4. optimize the input probabilities and export them as a simple
-   ``name probability`` file a test engineer could feed to a pattern generator.
+   ``name probability`` file a test engineer could feed to a pattern generator,
+5. run the same ``.bench`` file — and a seeded synthetic netlist — through the
+   declarative job-spec API via circuit sources (``{"kind": "file", ...}`` /
+   ``{"kind": "generator", ...}`` refs), which is how external netlists reach
+   ``python -m repro run`` and the parallel batch executor.
 
 Run with ``python examples/netlist_workflow.py``.  Files are written to a
 temporary directory and their paths are printed.
@@ -24,11 +28,14 @@ from pathlib import Path
 import numpy as np
 
 from repro import (
+    PipelineSpec,
     Session,
+    execute_spec,
     parse_bench,
     resistant_circuit,
     write_bench,
 )
+from repro.api.spec import FaultSimConfig
 from repro.analysis import probability_bounds
 from repro.circuit import circuit_stats
 
@@ -74,6 +81,33 @@ def main() -> None:
     print(f"Optimized test length : ~{result.test_length:,} patterns "
           f"(was ~{result.initial_test_length:,})")
     print(f"Weight file           : {weights_path}")
+
+    # --- 5. the same netlist through the job-spec API -------------------------
+    # A file circuit source makes the .bench file a first-class spec input:
+    # the spec (and its JSON form) can be shipped to run_jobs workers or fed
+    # to `python -m repro run --bench <file>`.
+    file_spec = PipelineSpec(
+        circuit={"kind": "file", "path": str(bench_path)},
+        fault_sim=FaultSimConfig(n_patterns=512),
+    )
+    report = execute_spec(file_spec)
+    print(f"File-source pipeline  : {report.summary()}")
+
+    # A generator source describes a seeded synthetic netlist entirely inside
+    # the spec — deterministic per seed, no file needed.
+    synth_spec = PipelineSpec(
+        circuit={
+            "kind": "generator",
+            "n_inputs": 24,
+            "n_gates": 600,
+            "depth": 10,
+            "seed": 11,
+            "name": "synth600",
+        },
+        fault_sim=FaultSimConfig(n_patterns=512),
+    )
+    report = execute_spec(synth_spec)
+    print(f"Generated pipeline    : {report.summary()}")
 
 
 if __name__ == "__main__":

@@ -7,7 +7,8 @@ The package is organised by subsystem:
 
 * :mod:`repro.circuit` — gate-level netlists, builder, ``.bench`` I/O.
 * :mod:`repro.circuits` — benchmark circuit generators (S1 comparator, divider,
-  ISCAS-like workloads).
+  ISCAS-like workloads), the circuit source abstraction (builtin | file |
+  inline | generator refs) and the seeded synthetic netlist generator.
 * :mod:`repro.simulation` — bit-parallel and reference true-value simulation.
 * :mod:`repro.faults` / :mod:`repro.faultsim` — stuck-at fault model, fault
   collapsing and fault simulation.
@@ -37,12 +38,15 @@ Typical use::
 
 from .circuit import Circuit, CircuitBuilder, GateType, parse_bench, write_bench
 from .circuits import (
+    CircuitSource,
+    GeneratorSpec,
     alu_circuit,
     array_multiplier_circuit,
     build_circuit,
     comparator_circuit,
     divider_circuit,
     ecc_decoder_circuit,
+    generate_circuit,
     hard_suite,
     paper_suite,
     resistant_circuit,
@@ -116,6 +120,9 @@ __all__ = [
     "build_circuit",
     "paper_suite",
     "hard_suite",
+    "CircuitSource",
+    "GeneratorSpec",
+    "generate_circuit",
     "Fault",
     "full_fault_list",
     "collapsed_fault_list",

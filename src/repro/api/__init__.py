@@ -27,6 +27,7 @@ from .executor import execute_spec, resolve_n_patterns
 from .jobs import JobResult, iter_jobs, run_jobs
 from .serialize import SCHEMA_VERSION, SchemaError
 from .spec import (
+    SEED_NAMESPACES,
     STAGE_NAMES,
     AnalysisConfig,
     FaultSimConfig,
@@ -41,6 +42,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "SchemaError",
     "STAGE_NAMES",
+    "SEED_NAMESPACES",
     "AnalysisConfig",
     "OptimizeConfig",
     "QuantizeConfig",

@@ -5,9 +5,11 @@ spec files) and writing JSON artifact files that round-trip through
 :func:`repro.api.load_artifact`:
 
 ``run``
-    Execute the pipeline for one or more circuits (registry keys and/or
-    ``--spec file.json``).  One circuit writes a ``pipeline_report``
-    artifact; several write a ``report_batch``.
+    Execute the pipeline for one or more circuits (registry keys,
+    ``--bench netlist.bench`` files and/or ``--spec file.json`` — spec files
+    may reference any circuit source, including the synthetic generator).
+    One circuit writes a ``pipeline_report`` artifact; several write a
+    ``report_batch``.
 
 ``sweep``
     Batch-execute the pipeline over many registry circuits (default: the
@@ -33,6 +35,7 @@ Examples::
 
     python -m repro run s1 --json s1.json
     python -m repro run s1 c7552 --patterns 2000 --parallelism 2 --json out.json
+    python -m repro run --bench examples/c17.bench --patterns 256
     python -m repro run --spec myjob.json
     python -m repro sweep --parallelism 4 --analysis-only --json sweep.json
     python -m repro selftest s1 --patterns 2000 --inject-hardest
@@ -117,8 +120,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     stages = _stage_configs(args)
     for key in args.circuits:
         specs.append(PipelineSpec(circuit=key, seed=args.seed, **stages))
+    for path in args.bench:
+        try:
+            spec = PipelineSpec(
+                circuit={"kind": "file", "path": path}, seed=args.seed, **stages
+            )
+            spec.build_circuit()  # fail fast on missing/invalid files
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"error: cannot use .bench file {path!r}: {exc}")
+        specs.append(spec)
     if not specs:
-        print("error: no circuits or --spec files given", file=sys.stderr)
+        print("error: no circuits, --bench or --spec files given", file=sys.stderr)
         return 2
     reports = _execute_batch(specs, args.parallelism)
     if len(reports) == 1:
@@ -275,6 +287,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="FILE",
         help="JSON pipeline-spec file (repeatable)",
+    )
+    run.add_argument(
+        "--bench",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="ISCAS .bench netlist file to run as a file circuit source (repeatable)",
     )
     run.add_argument(
         "--analysis-only", action="store_true", help="skip optimize/quantize/fault-sim"

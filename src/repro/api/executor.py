@@ -33,23 +33,24 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["execute_spec", "resolve_n_patterns"]
 
 #: Fallback fault-simulation pattern budget when neither the spec nor the
-#: benchmark registry names one.
+#: benchmark registry names one (file, generator and inline sources).
 DEFAULT_N_PATTERNS = 4_000
 
 
 def resolve_n_patterns(spec: PipelineSpec) -> int:
     """The fault-simulation pattern budget of a spec.
 
-    Explicit ``spec.fault_sim.n_patterns`` wins; a registry circuit falls
-    back to its paper pattern budget (Tables 2/4); anything else uses
-    :data:`DEFAULT_N_PATTERNS`.
+    Explicit ``spec.fault_sim.n_patterns`` wins; a ``builtin`` circuit
+    source falls back to its paper pattern budget (Tables 2/4); every other
+    source (file, generator, inline) uses :data:`DEFAULT_N_PATTERNS`.
     """
     if spec.fault_sim is not None and spec.fault_sim.n_patterns is not None:
         return spec.fault_sim.n_patterns
-    if isinstance(spec.circuit, str):
+    source = spec.source
+    if source.kind == "builtin":
         from ..circuits.registry import get_entry
 
-        entry = get_entry(spec.circuit)
+        entry = get_entry(source.key)
         if entry is not None and entry.paper_pattern_count:
             return entry.paper_pattern_count
     return DEFAULT_N_PATTERNS

@@ -36,12 +36,15 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, fields
-from typing import Any, Dict, Mapping, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
 from ..circuit.netlist import Circuit
 from .serialize import SchemaError, tagged_dict, untag
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..circuits.sources import CircuitSource
 
 __all__ = [
     "AnalysisConfig",
@@ -52,11 +55,17 @@ __all__ = [
     "PipelineSpec",
     "derive_seed",
     "STAGE_NAMES",
+    "SEED_NAMESPACES",
 ]
 
-#: Names of the pipeline stages, in execution order.  Also the namespace of
-#: :func:`derive_seed`'s ``stage`` argument.
+#: Names of the pipeline stages, in execution order.
 STAGE_NAMES = ("analysis", "optimize", "quantize", "fault_sim", "self_test")
+
+#: Namespace of :func:`derive_seed`'s ``stage`` argument: the pipeline stages
+#: plus non-stage consumers (the synthetic netlist generator).  APPEND ONLY —
+#: the index feeds the spawn key, so reordering or inserting entries would
+#: silently change every previously derived seed.
+SEED_NAMESPACES = STAGE_NAMES + ("generate",)
 
 #: Detection-probability estimators a spec may name (resolved by the
 #: executor; estimator *objects* remain a Session-level runtime override).
@@ -80,10 +89,10 @@ def derive_seed(root_seed: int, stage: str, label: str = "") -> int:
     if not isinstance(root_seed, int) or isinstance(root_seed, bool) or root_seed < 0:
         raise ValueError(f"root seed must be a non-negative int, got {root_seed!r}")
     try:
-        stage_index = STAGE_NAMES.index(stage)
+        stage_index = SEED_NAMESPACES.index(stage)
     except ValueError as exc:
         raise ValueError(
-            f"unknown stage {stage!r}; expected one of {STAGE_NAMES}"
+            f"unknown stage {stage!r}; expected one of {SEED_NAMESPACES}"
         ) from exc
     digest = hashlib.blake2b(label.encode("utf-8"), digest_size=8).digest()
     label_words = tuple(
@@ -318,11 +327,16 @@ class PipelineSpec:
     """One declarative pipeline job: a circuit plus its stage configs.
 
     Attributes:
-        circuit: circuit reference — a benchmark-registry key (``"s1"``,
-            ``"c6288"``, ...) or an inline netlist dict
-            (:meth:`repro.circuit.netlist.Circuit.to_dict`).
-        key: label of the job's artifacts; defaults to the registry key or
-            the inline netlist's name.
+        circuit: circuit reference — any form accepted by
+            :meth:`repro.circuits.sources.CircuitSource.from_ref`: a
+            benchmark-registry key (``"s1"``, ``"c6288"``, ...), an inline
+            netlist dict (:meth:`repro.circuit.netlist.Circuit.to_dict`), a
+            source dict (``{"kind": "file"|"generator"|..., ...}``), a
+            :class:`~repro.circuits.sources.CircuitSource` or a
+            :class:`~repro.circuit.netlist.Circuit`.  Rich objects are
+            normalized to the JSON wire form on construction.
+        key: label of the job's artifacts; defaults to the source's label
+            (registry key, netlist name, file stem or generator name).
         seed: root seed; every randomized stage derives its own seed via
             :func:`derive_seed` (see the module docstring for the
             semantics).
@@ -341,20 +355,9 @@ class PipelineSpec:
     self_test: Optional[SelfTestConfig] = None
 
     def __post_init__(self) -> None:
-        if isinstance(self.circuit, str):
-            if not self.circuit:
-                raise ValueError("registry circuit reference must be a non-empty key")
-        elif isinstance(self.circuit, Mapping):
-            missing = {"name", "net_names", "inputs", "outputs", "gates"} - set(self.circuit)
-            if missing:
-                raise ValueError(
-                    f"inline netlist dict is missing fields: {sorted(missing)}"
-                )
-        else:
-            raise ValueError(
-                "circuit must be a registry key (str) or an inline netlist dict, "
-                f"got {type(self.circuit).__name__}"
-            )
+        from ..circuits.sources import normalize_circuit_ref
+
+        object.__setattr__(self, "circuit", normalize_circuit_ref(self.circuit))
         if not isinstance(self.seed, int) or isinstance(self.seed, bool) or self.seed < 0:
             raise ValueError(f"seed must be a non-negative int, got {self.seed!r}")
         for name, config_type in _SPEC_STAGE_TYPES.items():
@@ -379,21 +382,22 @@ class PipelineSpec:
 
     # ------------------------------------------------------------------ #
     @property
+    def source(self) -> "CircuitSource":
+        """The typed circuit source behind the wire-form :attr:`circuit` ref."""
+        from ..circuits.sources import CircuitSource
+
+        return CircuitSource.from_ref(self.circuit)
+
+    @property
     def label(self) -> str:
-        """The artifact label: explicit key, registry key or netlist name."""
+        """The artifact label: explicit key, or the circuit source's label."""
         if self.key is not None:
             return self.key
-        if isinstance(self.circuit, str):
-            return self.circuit
-        return str(self.circuit.get("name") or "circuit")
+        return self.source.label
 
     def build_circuit(self) -> Circuit:
-        """Materialize the referenced circuit (registry build or inline)."""
-        if isinstance(self.circuit, str):
-            from ..circuits.registry import build_circuit
-
-            return build_circuit(self.circuit)
-        return Circuit.from_dict(dict(self.circuit))
+        """Materialize the referenced circuit (registry, file, inline or generated)."""
+        return self.source.build()
 
     def stage_seed(self, stage: str) -> int:
         """The derived seed of one stage of this job (see :func:`derive_seed`)."""

@@ -1,5 +1,13 @@
 """Benchmark-area implementations; importing this package registers them all."""
 
-from . import ablations, bist, experiments, session, substrate, table5
+from . import ablations, bist, experiments, session, substrate, synth, table5
 
-__all__ = ["ablations", "bist", "experiments", "session", "substrate", "table5"]
+__all__ = [
+    "ablations",
+    "bist",
+    "experiments",
+    "session",
+    "substrate",
+    "synth",
+    "table5",
+]

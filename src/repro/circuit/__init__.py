@@ -18,11 +18,13 @@ from .netlist import Circuit, CircuitError, Gate
 from .builder import CircuitBuilder
 from .bench import parse_bench, parse_bench_file, write_bench, write_bench_file
 from .analysis import CircuitStats, circuit_stats, has_reconvergent_fanout
-from .transforms import expand_xor, has_parity_gates
+from .transforms import expand_xor, has_parity_gates, is_canonical_order, renumber_canonical
 
 __all__ = [
     "expand_xor",
     "has_parity_gates",
+    "is_canonical_order",
+    "renumber_canonical",
     "GateType",
     "Gate",
     "Circuit",

@@ -21,7 +21,7 @@ import re
 from pathlib import Path
 from typing import Dict, List, Tuple, Union
 
-from .gates import GateType, parse_gate_type
+from .gates import GateType, gate_type_names, parse_gate_type
 from .netlist import Circuit, CircuitError, Gate, topologically_sort_gates
 
 __all__ = ["parse_bench", "parse_bench_file", "write_bench", "BenchParseError"]
@@ -35,6 +35,13 @@ _INPUT_RE = re.compile(r"^\s*INPUT\s*\(\s*([^)\s]+)\s*\)\s*$", re.IGNORECASE)
 _OUTPUT_RE = re.compile(r"^\s*OUTPUT\s*\(\s*([^)\s]+)\s*\)\s*$", re.IGNORECASE)
 _GATE_RE = re.compile(
     r"^\s*([^=\s]+)\s*=\s*([A-Za-z0-9_]+)\s*\(\s*(.*?)\s*\)\s*$"
+)
+
+#: Sequential-element tokens of the ISCAS'89 / s-series dialect.  The library
+#: models combinational networks only, so these get a dedicated diagnostic
+#: instead of the generic "unknown gate type token" error.
+_SEQUENTIAL_TOKENS = frozenset(
+    {"DFF", "DFFSR", "DFFRSE", "SDFF", "LATCH", "DLATCH", "FF", "FLOP"}
 )
 
 
@@ -71,6 +78,15 @@ def parse_bench(text: str, name: str = "bench_circuit") -> Circuit:
             try:
                 gate_type = parse_gate_type(type_token)
             except ValueError as exc:
+                if type_token.strip().upper() in _SEQUENTIAL_TOKENS:
+                    raise BenchParseError(
+                        f"line {lineno}: sequential element {type_token!r} is not "
+                        "supported — this library models combinational networks "
+                        "only (ISCAS'89 s-series circuits must have their "
+                        "flip-flops replaced by pseudo-primary inputs/outputs "
+                        "first); supported gate types: "
+                        f"{', '.join(gate_type_names())}"
+                    ) from exc
                 raise BenchParseError(f"line {lineno}: {exc}") from exc
             operands = [tok.strip() for tok in args.split(",") if tok.strip()]
             gate_specs.append((target, gate_type, operands))
@@ -105,13 +121,18 @@ def parse_bench(text: str, name: str = "bench_circuit") -> Circuit:
         raise BenchParseError(f"OUTPUT net {exc.args[0]!r} is never driven") from exc
 
     try:
-        ordered = topologically_sort_gates(len(net_names), inputs, gates)
+        # Keep the file's gate order whenever it is already topological: this
+        # makes write_bench -> parse_bench an exact structural round trip for
+        # circuits in canonical net order.  Only out-of-order files pay for a
+        # re-sort (Kahn's algorithm permutes even already-sorted lists).
+        if not _is_topological(inputs, gates):
+            gates = topologically_sort_gates(len(net_names), inputs, gates)
         return Circuit(
             name=name,
             net_names=net_names,
             inputs=inputs,
             outputs=outputs,
-            gates=ordered,
+            gates=gates,
         )
     except BenchParseError:
         raise
@@ -119,18 +140,54 @@ def parse_bench(text: str, name: str = "bench_circuit") -> Circuit:
         raise BenchParseError(f"invalid netlist: {exc}") from exc
 
 
+def _is_topological(inputs: Tuple[int, ...], gates: List[Gate]) -> bool:
+    """True if every gate reads only primary inputs or earlier gate outputs."""
+    driven = set(inputs)
+    for gate in gates:
+        if any(src not in driven for src in gate.inputs):
+            return False
+        if gate.output in driven:
+            return False  # multiple drivers: let the sorter raise its error
+        driven.add(gate.output)
+    return True
+
+
 def parse_bench_file(path: Union[str, Path]) -> Circuit:
-    """Parse a ``.bench`` file from disk; the circuit is named after the file."""
+    """Parse a ``.bench`` file from disk; the circuit is named after the file.
+
+    Parse errors are re-raised with the file path prefixed, so corpus loads
+    over many files identify which netlist failed.
+    """
     path = Path(path)
-    return parse_bench(path.read_text(), name=path.stem)
+    try:
+        return parse_bench(path.read_text(), name=path.stem)
+    except BenchParseError as exc:
+        raise BenchParseError(f"{path}: {exc}") from exc
 
 
 def write_bench(circuit: Circuit) -> str:
     """Serialise a circuit to ``.bench`` text.
 
-    ``CONST0``/``CONST1`` gates (which the format does not support) are written
-    as trivially constant gates over a dedicated dummy input only when present.
+    ``CONST0``/``CONST1`` gates (which the format does not support) are encoded
+    as two-gate constant structures over the first primary input — a documented
+    structural change: each constant gate becomes one helper NOT plus one
+    AND/OR, so the reparsed circuit has one extra gate and net per constant
+    (same function on the same primary inputs/outputs).  Helper nets get fresh
+    names guaranteed not to collide with any net name in the circuit.
     """
+    # Every name the output text can mention: declared names plus the "n<id>"
+    # forms synthesised for unnamed nets.  Helper nets must dodge all of them.
+    used_names = {circuit.net_name(net) for net in range(circuit.n_nets)}
+
+    def helper_name(base: str) -> str:
+        candidate = f"{base}_not"
+        serial = 1
+        while candidate in used_names:
+            candidate = f"{base}_not_{serial}"
+            serial += 1
+        used_names.add(candidate)
+        return candidate
+
     lines = [f"# {circuit.name}", f"# {circuit.summary()}"]
     for net in circuit.inputs:
         lines.append(f"INPUT({circuit.net_name(net)})")
@@ -145,12 +202,10 @@ def write_bench(circuit: Circuit) -> str:
             value = "0" if gate.gate_type is GateType.CONST0 else "1"
             lines.append(f"# constant net {target} = {value}")
             anchor = circuit.net_name(circuit.inputs[0])
-            if gate.gate_type is GateType.CONST0:
-                lines.append(f"{target} = AND({anchor}, {target}_not)")
-                lines.append(f"{target}_not = NOT({anchor})")
-            else:
-                lines.append(f"{target} = OR({anchor}, {target}_not)")
-                lines.append(f"{target}_not = NOT({anchor})")
+            helper = helper_name(target)
+            op = "AND" if gate.gate_type is GateType.CONST0 else "OR"
+            lines.append(f"{helper} = NOT({anchor})")
+            lines.append(f"{target} = {op}({anchor}, {helper})")
             continue
         lines.append(f"{target} = {gate.gate_type.value}({operands})")
     return "\n".join(lines) + "\n"

@@ -22,7 +22,46 @@ from typing import List, Tuple
 from .gates import GateType
 from .netlist import Circuit, Gate
 
-__all__ = ["expand_xor", "has_parity_gates"]
+__all__ = ["expand_xor", "has_parity_gates", "is_canonical_order", "renumber_canonical"]
+
+
+def is_canonical_order(circuit: Circuit) -> bool:
+    """True if net ids follow the ``.bench`` parser's layout.
+
+    Canonical order means net ``i`` is primary input ``i`` for the first
+    ``n_inputs`` nets, and each subsequent net is the output of the gate at the
+    matching position of the gate list.  :func:`repro.circuit.bench.parse_bench`
+    produces this layout, so a circuit in canonical order survives a
+    ``write_bench`` → ``parse_bench`` round trip with identical net ids (and an
+    identical :meth:`~repro.circuit.netlist.Circuit.structural_hash`).
+    """
+    expected = list(circuit.inputs) + [gate.output for gate in circuit.gates]
+    return expected == list(range(circuit.n_nets))
+
+
+def renumber_canonical(circuit: Circuit) -> Circuit:
+    """Renumber nets into canonical (parser) order; a no-op when already there.
+
+    Gate order, input/output order and net names are all preserved — only the
+    integer ids change — so every behavioural quantity (fault lists, detection
+    probabilities, signatures, optimizer trajectories) is unchanged.  Only
+    :meth:`~repro.circuit.netlist.Circuit.structural_hash` (a cache key) can
+    differ from the input circuit's.
+    """
+    if is_canonical_order(circuit):
+        return circuit
+    old_order = list(circuit.inputs) + [gate.output for gate in circuit.gates]
+    remap = {old: new for new, old in enumerate(old_order)}
+    return Circuit(
+        name=circuit.name,
+        net_names=[circuit.net_names[old] for old in old_order],
+        inputs=tuple(remap[net] for net in circuit.inputs),
+        outputs=tuple(remap[net] for net in circuit.outputs),
+        gates=[
+            Gate(g.gate_type, remap[g.output], tuple(remap[s] for s in g.inputs))
+            for g in circuit.gates
+        ],
+    )
 
 
 def has_parity_gates(circuit: Circuit) -> bool:

@@ -1,10 +1,17 @@
-"""Benchmark circuit generators (the paper's evaluation workloads)."""
+"""Benchmark circuit generators (the paper's evaluation workloads).
+
+Besides the fixed registry circuits this package hosts the circuit *source*
+abstraction (:mod:`repro.circuits.sources` — builtin | file | inline |
+generator refs behind :class:`~repro.api.spec.PipelineSpec`) and the seeded
+synthetic netlist generator (:mod:`repro.circuits.generator`).
+"""
 
 from .adders import carry_select_adder_circuit, ripple_adder_circuit
 from .alu import alu_circuit
 from .comparator import comparator_circuit, s1_comparator, sn7485_slice
 from .divider import divider_circuit, s2_divider
 from .ecc import ecc_decoder_circuit, hamming_parameters
+from .generator import DEFAULT_GATE_MIX, GeneratorSpec, generate_circuit
 from .multiplier import array_multiplier_circuit
 from .resistant import c2670_like, c7552_like, resistant_circuit
 from .registry import (
@@ -14,6 +21,7 @@ from .registry import (
     hard_suite,
     paper_suite,
 )
+from .sources import SOURCE_KINDS, CircuitSource, normalize_circuit_ref
 
 __all__ = [
     "ripple_adder_circuit",
@@ -35,4 +43,10 @@ __all__ = [
     "circuit_keys",
     "hard_suite",
     "paper_suite",
+    "CircuitSource",
+    "SOURCE_KINDS",
+    "normalize_circuit_ref",
+    "GeneratorSpec",
+    "generate_circuit",
+    "DEFAULT_GATE_MIX",
 ]

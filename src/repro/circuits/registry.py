@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from ..circuit.netlist import Circuit
-from ..circuit.transforms import expand_xor
+from ..circuit.transforms import expand_xor, renumber_canonical
 from .alu import alu_circuit
 from .comparator import s1_comparator
 from .divider import s2_divider
@@ -135,7 +135,11 @@ _register(
         paper_name="C1355",
         description="32-bit SEC circuit, XORs expanded into AND/OR/NOT (like c1355 vs c499)",
         hard=False,
-        build=lambda: expand_xor(ecc_decoder_circuit(data_width=32, name="ecc32"), name_suffix="_expanded"),
+        # expand_xor appends helper nets out of canonical order; renumber so
+        # the registry entry survives write_bench -> parse_bench exactly.
+        build=lambda: renumber_canonical(
+            expand_xor(ecc_decoder_circuit(data_width=32, name="ecc32"), name_suffix="_expanded")
+        ),
         paper_conventional_length=2.2e6,
     )
 )

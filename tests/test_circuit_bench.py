@@ -1,10 +1,13 @@
 """Tests for .bench parsing and writing."""
 
+import random
+
 import pytest
 
 from repro.circuit import GateType, parse_bench, write_bench
 from repro.circuit.bench import BenchParseError, parse_bench_file, write_bench_file
-from repro.circuits import s1_comparator
+from repro.circuit.builder import CircuitBuilder
+from repro.circuits import paper_suite, s1_comparator
 from repro.simulation import evaluate_named, exhaustive_truth_table
 
 from .helpers import C17_BENCH, half_adder_circuit
@@ -98,3 +101,102 @@ class TestRoundTrip:
         rebuilt = parse_bench_file(path)
         assert rebuilt.name == "ha"
         assert rebuilt.n_gates == original.n_gates
+
+    def test_topological_file_order_is_preserved(self):
+        # Two independent gates: a re-sorting parser (Kahn with a LIFO stack)
+        # would reverse them; file order must survive when already topological.
+        text = "INPUT(a)\nINPUT(b)\nOUTPUT(x)\nOUTPUT(y)\nx = NOT(a)\ny = NOT(b)\n"
+        circuit = parse_bench(text)
+        assert [circuit.net_name(g.output) for g in circuit.gates] == ["x", "y"]
+
+
+class TestBenchFixes:
+    """Regression tests for the PR 7 bench-format bug fixes."""
+
+    def _const_with_collision(self, const_type):
+        # A net literally named "c0_not" next to a CONST gate "c0": the old
+        # writer emitted a second driver for "c0_not" and the reparse failed
+        # with "net 'c0_not' has more than one driver".
+        builder = CircuitBuilder("collide")
+        a = builder.input("a")
+        c0 = builder.gate(const_type, (), name="c0")
+        shadow = builder.gate(GateType.NOT, (a,), name="c0_not")
+        builder.output(builder.gate(GateType.OR, (c0, shadow), name="y"))
+        return builder.build()
+
+    @pytest.mark.parametrize("const_type", [GateType.CONST0, GateType.CONST1])
+    def test_const_helper_names_dodge_collisions(self, const_type):
+        original = self._const_with_collision(const_type)
+        rebuilt = parse_bench(write_bench(original))
+        # One extra NOT+binary-gate pair replaces the constant gate.
+        assert rebuilt.n_gates == original.n_gates + 1
+        expected = const_type is GateType.CONST1
+        for a in (False, True):
+            assert evaluate_named(rebuilt, {"a": a})["y"] == (expected or not a)
+
+    def test_const_helper_dodges_synthesised_net_names(self):
+        # Unnamed nets render as "n<id>"; helper names must not collide with
+        # those either.
+        builder = CircuitBuilder("anon")
+        a = builder.input("a")
+        c1 = builder.gate(GateType.CONST1, (), name=None)
+        builder.output(builder.gate(GateType.AND, (a, c1), name="y"))
+        original = builder.build()
+        rebuilt = parse_bench(write_bench(original))
+        for a in (False, True):
+            assert evaluate_named(rebuilt, {"a": a})["y"] is a
+
+    def test_sequential_dff_gets_clear_error(self):
+        with pytest.raises(BenchParseError) as excinfo:
+            parse_bench("INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n")
+        message = str(excinfo.value)
+        assert "sequential element 'DFF' is not supported" in message
+        assert "combinational" in message
+        for gate_name in ("AND", "NAND", "XOR", "CONST0"):
+            assert gate_name in message
+
+    def test_unknown_token_error_unchanged(self):
+        with pytest.raises(BenchParseError, match="unknown gate type token: 'FROB'"):
+            parse_bench("INPUT(a)\nOUTPUT(q)\nq = FROB(a)\n")
+
+    def test_parse_bench_file_errors_name_the_file(self, tmp_path):
+        path = tmp_path / "broken.bench"
+        path.write_text("INPUT(a)\nOUTPUT(q)\nq = FROB(a)\n")
+        with pytest.raises(BenchParseError) as excinfo:
+            parse_bench_file(path)
+        message = str(excinfo.value)
+        assert str(path) in message
+        assert "line 3" in message
+
+
+class TestRegistryRoundTrip:
+    """write_bench -> parse_bench over every registry circuit.
+
+    Const-free circuits (all in canonical net order, c1355 by explicit
+    renumbering) round-trip with an identical structural hash.  The three
+    const-bearing circuits (s2, c2670, c7552) undergo the *documented*
+    structural change — each CONST gate becomes a two-gate constant
+    structure — so their reparse gains exactly one gate per constant and
+    computes the same function.
+    """
+
+    @pytest.mark.parametrize("entry", paper_suite(), ids=lambda e: e.key)
+    def test_roundtrip(self, entry):
+        original = entry.instantiate()
+        rebuilt = parse_bench(write_bench(original))
+        n_consts = sum(
+            1
+            for gate in original.gates
+            if gate.gate_type in (GateType.CONST0, GateType.CONST1)
+        )
+        if n_consts == 0:
+            assert rebuilt.structural_hash() == original.structural_hash()
+            return
+        assert rebuilt.n_gates == original.n_gates + n_consts
+        input_names = [original.net_name(net) for net in original.inputs]
+        rng = random.Random(entry.key)
+        for _ in range(4):
+            assignment = {name: rng.random() < 0.5 for name in input_names}
+            assert evaluate_named(rebuilt, assignment) == evaluate_named(
+                original, assignment
+            )

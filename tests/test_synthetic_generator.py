@@ -1,0 +1,140 @@
+"""Property tests of the seeded synthetic netlist generator."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import PipelineSpec
+from repro.circuit import is_canonical_order
+from repro.circuit.netlist import Circuit
+from repro.circuits import DEFAULT_GATE_MIX, GeneratorSpec, generate_circuit
+
+# A hypothesis strategy over valid generator parameter combinations, kept
+# small so each example generates in well under a millisecond.
+_spec_strategy = st.builds(
+    GeneratorSpec,
+    n_inputs=st.integers(2, 24),
+    n_gates=st.integers(8, 160),
+    depth=st.integers(1, 8),
+    min_fanin=st.integers(1, 3),
+    max_fanin=st.integers(3, 5),
+    seed=st.integers(0, 2**31),
+)
+
+
+class TestGeneratedStructure:
+    @given(spec=_spec_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_valid_acyclic_and_exact_depth(self, spec):
+        circuit = generate_circuit(spec)
+        circuit.validate()  # topological order == acyclic, single drivers
+        assert circuit.n_inputs == spec.n_inputs
+        assert circuit.n_gates == spec.n_gates
+        assert circuit.depth == spec.depth
+        assert circuit.n_outputs >= 1
+        assert is_canonical_order(circuit)
+
+    @given(spec=_spec_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic_per_seed(self, spec):
+        first = generate_circuit(spec)
+        second = generate_circuit(spec)
+        assert first.structural_hash() == second.structural_hash()
+        assert first.to_dict() == second.to_dict()
+
+    @given(spec=_spec_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_netlist_and_spec_json_roundtrip(self, spec):
+        circuit = generate_circuit(spec)
+        rebuilt = Circuit.from_dict(json.loads(json.dumps(circuit.to_dict())))
+        assert rebuilt.structural_hash() == circuit.structural_hash()
+
+        job = PipelineSpec(
+            circuit={"kind": "generator", **spec.to_dict()}, fault_sim=None
+        )
+        job_rt = PipelineSpec.from_dict(json.loads(json.dumps(job.to_dict())))
+        assert job_rt == job
+        assert job_rt.build_circuit().structural_hash() == circuit.structural_hash()
+
+    def test_adjacent_seeds_differ(self):
+        base = dict(n_inputs=16, n_gates=200, depth=6)
+        hashes = {
+            generate_circuit(GeneratorSpec(seed=seed, **base)).structural_hash()
+            for seed in range(8)
+        }
+        assert len(hashes) == 8
+
+    def test_name_does_not_affect_structure(self):
+        a = generate_circuit(GeneratorSpec(n_inputs=16, n_gates=200, depth=6, name="a"))
+        b = generate_circuit(GeneratorSpec(n_inputs=16, n_gates=200, depth=6, name="b"))
+        assert a.structural_hash() == b.structural_hash()
+        assert a.name == "a" and b.name == "b"
+
+    def test_unary_gates_have_one_input(self):
+        spec = GeneratorSpec(
+            n_inputs=8,
+            n_gates=120,
+            depth=5,
+            min_fanin=2,
+            max_fanin=4,
+            gate_mix=(("NOT", 1.0), ("BUF", 1.0), ("AND", 1.0)),
+            seed=3,
+        )
+        circuit = generate_circuit(spec)
+        for gate in circuit.gates:
+            if gate.gate_type.value in ("NOT", "BUF"):
+                assert gate.arity == 1
+            else:
+                assert 2 <= gate.arity <= 4
+
+    def test_inputs_are_named_gate_nets_are_not(self):
+        circuit = generate_circuit(GeneratorSpec(n_inputs=4, n_gates=10, depth=2))
+        assert [circuit.net_name(net) for net in circuit.inputs] == [
+            "pi0",
+            "pi1",
+            "pi2",
+            "pi3",
+        ]
+        assert all(not circuit.net_names[g.output] for g in circuit.gates)
+
+
+class TestGeneratorSpecValidation:
+    def test_default_mix_is_used(self):
+        assert GeneratorSpec(n_inputs=4, n_gates=8).gate_mix == DEFAULT_GATE_MIX
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(n_inputs=1, n_gates=8), "n_inputs"),
+            (dict(n_inputs=4, n_gates=3, depth=4), "n_gates"),
+            (dict(n_inputs=4, n_gates=8, depth=0), "depth"),
+            (dict(n_inputs=4, n_gates=8, min_fanin=3, max_fanin=2), "fan-in"),
+            (dict(n_inputs=4, n_gates=8, max_fanin=64), "max_fanin"),
+            (dict(n_inputs=4, n_gates=8, seed=-1), "seed"),
+            (dict(n_inputs=4, n_gates=8, gate_mix=()), "gate_mix"),
+            (dict(n_inputs=4, n_gates=8, gate_mix=(("CONST0", 1.0),)), "unsupported"),
+            (dict(n_inputs=4, n_gates=8, gate_mix=(("AND", 0.0),)), "weight"),
+            (
+                dict(n_inputs=4, n_gates=8, gate_mix=(("AND", 1.0), ("AND", 2.0))),
+                "twice",
+            ),
+            (dict(n_inputs=4, n_gates=8, name=""), "name"),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            GeneratorSpec(**kwargs)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown fields"):
+            GeneratorSpec.from_dict({"n_inputs": 4, "n_gates": 8, "bogus": 1})
+
+    def test_from_dict_requires_core_fields(self):
+        with pytest.raises(ValueError, match="missing"):
+            GeneratorSpec.from_dict({"n_inputs": 4})
+
+    def test_spec_dict_roundtrip(self):
+        spec = GeneratorSpec(n_inputs=6, n_gates=20, depth=3, seed=9, name="x")
+        assert GeneratorSpec.from_dict(spec.to_dict()) == spec
