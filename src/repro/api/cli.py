@@ -89,9 +89,13 @@ def _load_spec_file(path: str) -> PipelineSpec:
 
 def _stage_configs(args: argparse.Namespace) -> Dict[str, Any]:
     """Translate the shared CLI flags into stage configs."""
+    backend = getattr(args, "backend", None)
+    allow_fallback = bool(getattr(args, "allow_backend_fallback", False))
     analysis = AnalysisConfig(
         confidence=args.confidence,
         drop_redundant=not getattr(args, "keep_redundant", False),
+        backend=backend,
+        allow_fallback=allow_fallback,
     )
     if getattr(args, "analysis_only", False):
         return {"analysis": analysis, "optimize": None, "quantize": None, "fault_sim": None}
@@ -99,7 +103,12 @@ def _stage_configs(args: argparse.Namespace) -> Dict[str, Any]:
         "analysis": analysis,
         "optimize": OptimizeConfig(max_sweeps=args.max_sweeps),
         "quantize": QuantizeConfig(),
-        "fault_sim": FaultSimConfig(n_patterns=args.patterns),
+        "fault_sim": FaultSimConfig(
+            n_patterns=args.patterns,
+            backend=backend,
+            allow_fallback=allow_fallback,
+            partition_size=getattr(args, "partition_size", None),
+        ),
     }
 
 
@@ -160,7 +169,11 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
     spec = PipelineSpec(
         circuit=args.circuit,
         seed=args.seed,
-        analysis=AnalysisConfig(confidence=args.confidence),
+        analysis=AnalysisConfig(
+            confidence=args.confidence,
+            backend=args.backend,
+            allow_fallback=args.allow_backend_fallback,
+        ),
         optimize=OptimizeConfig(max_sweeps=args.max_sweeps) if weighted else None,
         quantize=QuantizeConfig() if weighted else None,
         fault_sim=None,
@@ -266,6 +279,27 @@ def _add_common(parser: argparse.ArgumentParser, patterns_default=None) -> None:
         type=int,
         default=1,
         help="worker processes for the batch executor (default: serial)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("numpy", "numba"),
+        default=None,
+        help="kernel backend for analysis and fault simulation "
+        "(default: process default, numpy); results are bit-identical",
+    )
+    parser.add_argument(
+        "--allow-backend-fallback",
+        action="store_true",
+        help="fall back to the numpy backend when the requested backend "
+        "is unavailable instead of failing",
+    )
+    parser.add_argument(
+        "--partition-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="PPSFP fault partition size for the fault simulator "
+        "(default: one partition; detection results are invariant)",
     )
     parser.add_argument("--json", metavar="PATH", help="write the JSON artifact here")
 

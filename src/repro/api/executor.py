@@ -117,6 +117,9 @@ def execute_spec(
             batch_size=config.batch_size,
             fault_group=config.fault_group,
             target_coverage=config.target_coverage,
+            backend=config.backend,
+            allow_fallback=config.allow_fallback,
+            partition_size=config.partition_size,
         )
         if quantized is not None:
             optimized_experiment = session.fault_simulate(
@@ -127,6 +130,9 @@ def execute_spec(
                 batch_size=config.batch_size,
                 fault_group=config.fault_group,
                 target_coverage=config.target_coverage,
+                backend=config.backend,
+                allow_fallback=config.allow_fallback,
+                partition_size=config.partition_size,
             )
 
     # Stage 5: self test (BILBO / signature analysis).

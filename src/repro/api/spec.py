@@ -72,6 +72,22 @@ SEED_NAMESPACES = STAGE_NAMES + ("generate",)
 ESTIMATOR_NAMES = ("batched", "scalar")
 
 
+def _check_backend_name(value: Optional[str]) -> None:
+    """Validate a spec-level kernel-backend name (``None`` = process default).
+
+    Imported lazily: the backend registry pulls in the engine modules, which
+    this low-level spec module must not load at import time.
+    """
+    if value is None:
+        return
+    from ..backends import BACKEND_NAMES
+
+    if value not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown backend {value!r}; expected one of {BACKEND_NAMES}"
+        )
+
+
 # --------------------------------------------------------------------------- #
 # Seed derivation
 # --------------------------------------------------------------------------- #
@@ -174,6 +190,11 @@ class AnalysisConfig(_ConfigBase):
         estimator: detection-probability estimator by name — ``"batched"``
             (the compiled COP engine, default) or ``"scalar"`` (the
             bit-identical reference implementation).
+        backend: kernel backend for the batched estimator (``"numpy"`` or
+            ``"numba"``; ``None`` = process default).  Backends are
+            bit-identical, so analysis results never depend on this.
+        allow_fallback: fall back to the numpy backend when the requested
+            backend is unavailable instead of failing the job.
     """
 
     _kind = "analysis_config"
@@ -181,6 +202,8 @@ class AnalysisConfig(_ConfigBase):
     confidence: float = 0.999
     drop_redundant: bool = True
     estimator: str = "batched"
+    backend: Optional[str] = None
+    allow_fallback: bool = False
 
     def __post_init__(self) -> None:
         _check_fraction("confidence", self.confidence)
@@ -188,6 +211,7 @@ class AnalysisConfig(_ConfigBase):
             raise ValueError(
                 f"unknown estimator {self.estimator!r}; expected one of {ESTIMATOR_NAMES}"
             )
+        _check_backend_name(self.backend)
 
 
 @dataclass(frozen=True)
@@ -256,6 +280,14 @@ class FaultSimConfig(_ConfigBase):
         fault_group: faults simulated simultaneously per group (``None`` =
             adaptive).
         target_coverage: optional coverage fraction at which to stop early.
+        backend: kernel backend for the fault simulator (``"numpy"`` or
+            ``"numba"``; ``None`` = process default).  Backends are
+            bit-identical, so detection results never depend on this.
+        allow_fallback: fall back to the numpy backend when the requested
+            backend is unavailable instead of failing the job.
+        partition_size: PPSFP fault partition size (``None`` = one partition
+            spanning all active faults).  Detection results are invariant
+            under this choice; it only shapes working-set size.
     """
 
     _kind = "fault_sim_config"
@@ -264,6 +296,9 @@ class FaultSimConfig(_ConfigBase):
     batch_size: int = 2048
     fault_group: Optional[int] = None
     target_coverage: Optional[float] = None
+    backend: Optional[str] = None
+    allow_fallback: bool = False
+    partition_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.n_patterns is not None:
@@ -273,6 +308,9 @@ class FaultSimConfig(_ConfigBase):
             _check_positive_int("fault_group", self.fault_group)
         if self.target_coverage is not None:
             _check_fraction("target_coverage", self.target_coverage, open_interval=False)
+        _check_backend_name(self.backend)
+        if self.partition_size is not None:
+            _check_positive_int("partition_size", self.partition_size)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,282 @@
+"""Kernel bodies of the numba backend, written to be ``numba.njit``-able.
+
+Every function in this module is a plain-Python / numpy-scalar loop nest with
+no Python objects, closures or fancy indexing — the subset numba compiles in
+``nopython`` mode.  :func:`get_kernels` returns either the JIT-compiled
+versions (when numba is importable) or the raw Python functions
+(``force_python=True``, or numba absent), which execute the *same code* and
+therefore produce identical results; this is what lets the differential suite
+prove the kernel logic bit-identical to the numpy backend even on machines
+without numba installed.
+
+Bit-identity arguments (asserted by ``tests/test_backends.py``):
+
+* the word-domain kernels use only ``uint64`` bitwise operations, which are
+  exact — any evaluation order gives the same words as the vectorized
+  ``ufunc.reduceat`` path;
+* the probability kernels replicate the *scalar fold order* of the numpy
+  engines operation for operation: AND folds ``acc *= p_k`` ascending, OR
+  folds ``acc *= (1 - p_k)``, XOR folds the sequential parity update, side
+  products skip the pin's own position with ``k`` ascending, and the fan-out
+  miss accumulation multiplies in pin-sequence order.  Since IEEE-754 ops are
+  deterministic, an identical op sequence yields bit-identical float64s.
+* interleaving the per-pin miss updates with the on-the-fly ``out_obs``
+  reads is safe because a level's pin *source* nets all sit at lower logic
+  levels than its *output* nets — the two sets are disjoint, so no update
+  can be observed early.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+__all__ = ["HAVE_NUMBA", "get_kernels"]
+
+try:  # pragma: no cover - exercised only when numba is installed
+    import numba
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the usual path in minimal envs
+    numba = None
+    HAVE_NUMBA = False
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+_ZERO = np.uint64(0)
+
+# Base-op codes, mirrored from repro.lowered (kept literal so the kernel
+# bodies stay free of module globals numba would have to resolve).
+_OP_AND = 0
+_OP_OR = 1
+_OP_XOR = 2
+
+
+# --------------------------------------------------------------------------- #
+# Word domain (logic / fault simulation)
+# --------------------------------------------------------------------------- #
+def eval_good_words(values, ev_op, ev_out, ev_inv, ev_start, ev_len, ev_flat):
+    """Evaluate every gate in topological eval order, in place.
+
+    ``values`` is ``uint64 (n_nets, n_words)`` with primary-input and
+    constant rows preset; gate ``pos`` reads operand nets
+    ``ev_flat[ev_start[pos] : ev_start[pos] + ev_len[pos]]`` and writes net
+    ``ev_out[pos]``.  ``ev_inv`` holds the all-ones word for inverting gates.
+    """
+    n_eval = ev_op.shape[0]
+    n_words = values.shape[1]
+    for pos in range(n_eval):
+        op = ev_op[pos]
+        start = ev_start[pos]
+        length = ev_len[pos]
+        out = ev_out[pos]
+        inv = ev_inv[pos]
+        for w in range(n_words):
+            if op == _OP_AND:
+                acc = _ALL_ONES
+                for k in range(length):
+                    acc = acc & values[ev_flat[start + k], w]
+            elif op == _OP_OR:
+                acc = _ZERO
+                for k in range(length):
+                    acc = acc | values[ev_flat[start + k], w]
+            else:
+                acc = _ZERO
+                for k in range(length):
+                    acc = acc ^ values[ev_flat[start + k], w]
+            values[out, w] = acc ^ inv
+
+
+def fault_replay_detect(
+    good,
+    valid_mask,
+    out_nets,
+    ev_op,
+    ev_out,
+    ev_inv,
+    ev_start,
+    ev_len,
+    ev_flat,
+    gate_pos,
+    cone_flat,
+    cone_start,
+    cone_len,
+    f_net,
+    f_stuck,
+    f_stem,
+    f_gate,
+    pin_flat,
+    pin_start,
+    pin_len,
+):
+    """Detection words for a group of faults by per-fault cone replay.
+
+    For each fault only the gates of its precomputed fan-out cone are
+    re-evaluated, against a scratch ``faulty`` matrix tagged per net with the
+    index of the fault that last wrote it (``version``) — nets outside the
+    cone transparently read the fault-free ``good`` values, and no per-fault
+    reset of the scratch state is needed.
+
+    Stem faults force the faulty net's row once; the net's driver is never in
+    its own fan-out cone (no combinational cycles), so the forced value is
+    never recomputed.  Branch faults inject the stuck value at the faulty
+    pin offsets of the fault's gate only.
+    """
+    n_faults = f_net.shape[0]
+    n_nets = good.shape[0]
+    n_words = good.shape[1]
+    detection = np.zeros((n_faults, n_words), dtype=np.uint64)
+    faulty = np.zeros((n_nets, n_words), dtype=np.uint64)
+    version = np.full(n_nets, -1, dtype=np.int64)
+    for fi in range(n_faults):
+        stuck = f_stuck[fi]
+        if f_stem[fi]:
+            net = f_net[fi]
+            for w in range(n_words):
+                faulty[net, w] = stuck
+            version[net] = fi
+        for ci in range(cone_len[fi]):
+            gate = cone_flat[cone_start[fi] + ci]
+            pos = gate_pos[gate]
+            if pos < 0:
+                continue
+            op = ev_op[pos]
+            start = ev_start[pos]
+            length = ev_len[pos]
+            inv = ev_inv[pos]
+            inject = 0
+            if not f_stem[fi] and gate == f_gate[fi]:
+                inject = pin_len[fi]
+            for w in range(n_words):
+                if op == _OP_AND:
+                    acc = _ALL_ONES
+                else:
+                    acc = _ZERO
+                for k in range(length):
+                    net = ev_flat[start + k]
+                    if version[net] == fi:
+                        value = faulty[net, w]
+                    else:
+                        value = good[net, w]
+                    if inject > 0:
+                        for pk in range(inject):
+                            if pin_flat[pin_start[fi] + pk] == k:
+                                value = stuck
+                    if op == _OP_AND:
+                        acc = acc & value
+                    elif op == _OP_OR:
+                        acc = acc | value
+                    else:
+                        acc = acc ^ value
+                faulty[ev_out[pos], w] = acc ^ inv
+            version[ev_out[pos]] = fi
+        for oi in range(out_nets.shape[0]):
+            net = out_nets[oi]
+            if version[net] == fi:
+                for w in range(n_words):
+                    detection[fi, w] = detection[fi, w] | (
+                        (faulty[net, w] ^ good[net, w]) & valid_mask[w]
+                    )
+    return detection
+
+
+# --------------------------------------------------------------------------- #
+# Probability domain (COP analysis)
+# --------------------------------------------------------------------------- #
+def cop_forward(probs, ev_op, ev_out, ev_invb, ev_start, ev_len, ev_flat):
+    """Signal probabilities in place: the scalar fold per gate, per row.
+
+    ``probs`` is ``float64 (B, n_nets)`` with input / constant / override
+    values preset; each gate folds its operands in ascending position order,
+    exactly the op sequence of the numpy positional kernels.
+    """
+    n_rows = probs.shape[0]
+    n_eval = ev_op.shape[0]
+    for row in range(n_rows):
+        for pos in range(n_eval):
+            op = ev_op[pos]
+            start = ev_start[pos]
+            length = ev_len[pos]
+            if op == _OP_XOR:
+                acc = 0.0
+                for k in range(length):
+                    p = probs[row, ev_flat[start + k]]
+                    acc = acc * (1.0 - p) + (1.0 - acc) * p
+                if ev_invb[pos]:
+                    acc = 1.0 - acc
+            elif op == _OP_OR:
+                acc = 1.0
+                for k in range(length):
+                    acc *= 1.0 - probs[row, ev_flat[start + k]]
+                if not ev_invb[pos]:
+                    acc = 1.0 - acc
+            else:
+                acc = 1.0
+                for k in range(length):
+                    acc *= probs[row, ev_flat[start + k]]
+                if ev_invb[pos]:
+                    acc = 1.0 - acc
+            probs[row, ev_out[pos]] = acc
+
+
+def cop_backward(
+    probs,
+    miss,
+    pin_obs,
+    pin_src,
+    pin_out,
+    pin_op,
+    side_start,
+    side_len,
+    side_nets,
+):
+    """Observabilities in place: pins in global slot order, per row.
+
+    Global pin slots are numbered levels-descending, gates-ascending,
+    positions-ascending — so a flat loop over slots replays the backward
+    level sweep of the numpy engine, including the pin-sequence order of the
+    fan-out miss accumulation.  ``miss`` arrives initialized (ones, primary
+    output nets zeroed); net observability is ``1 - miss`` afterwards.
+    """
+    n_rows = probs.shape[0]
+    n_pins = pin_src.shape[0]
+    for row in range(n_rows):
+        for i in range(n_pins):
+            out_obs = 1.0 - miss[row, pin_out[i]]
+            if pin_op[i] == _OP_XOR:
+                obs = out_obs
+            else:
+                factor = 1.0
+                for k in range(side_len[i]):
+                    p = probs[row, side_nets[side_start[i] + k]]
+                    if pin_op[i] == _OP_OR:
+                        p = 1.0 - p
+                    factor *= p
+                obs = out_obs * factor
+            pin_obs[row, i] = obs
+            miss[row, pin_src[i]] *= 1.0 - obs
+
+
+_PY_KERNELS: Dict[str, Callable] = {
+    "eval_good_words": eval_good_words,
+    "fault_replay_detect": fault_replay_detect,
+    "cop_forward": cop_forward,
+    "cop_backward": cop_backward,
+}
+
+_jitted: Dict[str, Callable] = {}
+
+
+def get_kernels(force_python: bool = False) -> Dict[str, Callable]:
+    """The kernel table: JIT-compiled when numba is importable.
+
+    ``force_python=True`` returns the raw Python functions even with numba
+    installed — the mode the differential tests use to pin the kernel logic
+    itself (identical code paths, minus the compilation step).
+    """
+    if force_python or not HAVE_NUMBA:
+        return _PY_KERNELS
+    if not _jitted:  # pragma: no cover - requires numba
+        for name, fn in _PY_KERNELS.items():
+            _jitted[name] = numba.njit(cache=True, fastmath=False)(fn)
+    return _jitted  # pragma: no cover - requires numba

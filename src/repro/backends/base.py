@@ -1,0 +1,120 @@
+"""The kernel-backend protocol behind the lowered-circuit IR.
+
+Every compiled engine in the repo consumes one :class:`~repro.lowered.LoweredCircuit`
+artifact; a *backend* decides how the kernels over that artifact are executed.
+The reference backend interprets the SoA arrays with vectorized numpy ufuncs
+(:mod:`repro.simulation.compiled` / :mod:`repro.analysis.compiled`); the numba
+backend JIT-compiles the level loops and the per-fault cone replay.  Backends
+are required to be **bit-identical**: for every circuit, pattern set and
+weight batch, the word-domain detection results and the float64 COP
+probabilities must equal the numpy reference exactly — the differential suite
+in ``tests/test_backends.py`` asserts this over the registry and seeded
+synthetic netlists.
+
+A backend is cheap to construct and stateless; all per-circuit state lives in
+the :class:`KernelEngine` it compiles, which is cached on the lowered artifact
+(one engine per backend per circuit structure, process-wide).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.compiled import CompiledCop
+    from ..lowered import LoweredCircuit
+    from ..simulation.compiled import CompiledCircuit
+
+__all__ = ["BackendUnavailableError", "KernelBackend", "KernelEngine"]
+
+
+class BackendUnavailableError(RuntimeError):
+    """A requested backend cannot run in this environment.
+
+    Raised when a spec or caller selects a backend whose runtime dependency
+    (e.g. the ``numba`` package) is not importable and fallback was not
+    allowed.  The message names the backend and the missing dependency so a
+    failing job log states exactly what to install.
+    """
+
+
+class KernelEngine:
+    """One backend's compiled engines over one lowered circuit.
+
+    The two domain engines are built lazily — a fault-simulation job never
+    pays for the COP compilation and vice versa — and each satisfies the
+    corresponding reference interface (:class:`~repro.simulation.compiled.CompiledCircuit`
+    for :attr:`sim`, :class:`~repro.analysis.compiled.CompiledCop` for
+    :attr:`cop`), so callers are backend-agnostic.
+    """
+
+    def __init__(
+        self,
+        backend_name: str,
+        lowered: "LoweredCircuit",
+        sim_factory: Callable[[], "CompiledCircuit"],
+        cop_factory: Callable[[], "CompiledCop"],
+    ):
+        self.backend_name = backend_name
+        self.lowered = lowered
+        self._sim_factory = sim_factory
+        self._cop_factory = cop_factory
+        self._sim: Optional["CompiledCircuit"] = None
+        self._cop: Optional["CompiledCop"] = None
+
+    @property
+    def sim(self) -> "CompiledCircuit":
+        """The word-domain logic/fault-simulation engine (built on first use)."""
+        if self._sim is None:
+            self._sim = self._sim_factory()
+        return self._sim
+
+    @property
+    def cop(self) -> "CompiledCop":
+        """The probability-domain COP analysis engine (built on first use)."""
+        if self._cop is None:
+            self._cop = self._cop_factory()
+        return self._cop
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"KernelEngine({self.backend_name!r}, "
+            f"{self.lowered.circuit.name!r})"
+        )
+
+
+class KernelBackend(abc.ABC):
+    """Compiles lowered circuits into executable kernel engines.
+
+    Subclasses set :attr:`name` (the spec-selectable identifier) and
+    implement :meth:`available` and :meth:`compile`.  ``compile`` must be
+    idempotent per lowering — implementations cache the engine on the
+    lowered artifact keyed by :attr:`cache_key`.
+    """
+
+    #: Spec-selectable backend identifier (``FaultSimConfig.backend``).
+    name: str = ""
+
+    @property
+    def cache_key(self) -> str:
+        """Key under which this backend's engines cache on the lowering."""
+        return self.name
+
+    @abc.abstractmethod
+    def available(self) -> bool:
+        """True if the backend can run in this environment."""
+
+    @abc.abstractmethod
+    def compile(self, lowered: "LoweredCircuit") -> KernelEngine:
+        """Compile (or fetch the cached) kernel engine for ``lowered``."""
+
+    def require_available(self) -> None:
+        """Raise :class:`BackendUnavailableError` unless :meth:`available`."""
+        if not self.available():
+            raise BackendUnavailableError(
+                f"backend {self.name!r} is not available in this environment"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"

@@ -1,0 +1,299 @@
+"""The numba performance backend: JIT-compiled level loops and cone replay.
+
+The engines subclass their numpy reference counterparts and override only the
+hot entry points with calls into the ``njit``-able kernel bodies of
+:mod:`repro.backends._numba_kernels`:
+
+* :class:`NumbaSimEngine` replaces the per-level ``ufunc.reduceat`` sweeps
+  with one fused gate loop (:func:`eval_good_words`) and the wide
+  fault-group value matrix with per-fault fan-out *cone replay*
+  (:func:`fault_replay_detect`): each fault re-evaluates only its cone
+  against a version-tagged scratch matrix, so small cones cost small work —
+  the access pattern PPSFP fault partitioning in
+  :class:`~repro.faultsim.parallel.ParallelFaultSimulator` is built around.
+* :class:`NumbaCop` replaces the positional probability folds with
+  sequential per-gate / per-pin loops that replicate the scalar fold order
+  operation for operation, keeping the float64 results bit-identical to the
+  numpy backend (see the kernel module docstring for the argument).
+
+When numba is not importable the backend reports unavailable; constructing
+it with ``force_python=True`` runs the *same kernel bodies* as plain Python,
+which is how the differential suite pins the kernel logic on machines
+without numba.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.compiled import CompiledCop
+from ..lowered import OP_XOR, LoweredCircuit
+from ..simulation.compiled import CompiledCircuit
+from ._numba_kernels import HAVE_NUMBA, get_kernels
+from .base import KernelBackend, KernelEngine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.model import Fault
+
+__all__ = ["NumbaBackend", "NumbaSimEngine", "NumbaCop"]
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+_ZERO = np.uint64(0)
+
+
+def _concat(parts, dtype) -> np.ndarray:
+    if not parts:
+        return np.zeros(0, dtype=dtype)
+    return np.concatenate(parts).astype(dtype)
+
+
+def _eval_order_gates(lowered: LoweredCircuit) -> np.ndarray:
+    """Gate ids in kernel evaluation order (level asc, op asc, id asc)."""
+    if not lowered.groups:
+        return np.zeros(0, dtype=np.int64)
+    return np.concatenate(
+        [group.gate_ids for group in lowered.groups]
+    ).astype(np.int64)
+
+
+class NumbaSimEngine(CompiledCircuit):
+    """Word-domain engine with JIT-compiled evaluation and fault replay.
+
+    Inherits the numpy implementation for everything except the two hot
+    paths; in particular :meth:`fault_output_words` (the self-test response
+    path) intentionally stays on the reference kernels.
+    """
+
+    def __init__(self, lowered: LoweredCircuit, kernels: Dict[str, Callable]):
+        super().__init__(lowered)
+        self._kern = kernels
+        gids = _eval_order_gates(lowered)
+        self._ev_op = lowered.gate_op[gids].astype(np.int8)
+        self._ev_out = lowered.gate_output[gids].astype(np.int64)
+        self._ev_inv = np.where(lowered.gate_invert[gids], _ALL_ONES, _ZERO)
+        self._ev_start = lowered.gate_fanin_start[gids].astype(np.int64)
+        self._ev_len = lowered.gate_fanin_len[gids].astype(np.int64)
+        self._ev_flat = lowered.gate_fanin_flat.astype(np.int64)
+        self._gate_pos = np.full(lowered.n_gates, -1, dtype=np.int64)
+        self._gate_pos[gids] = np.arange(gids.size, dtype=np.int64)
+        self._out_nets = lowered.outputs.astype(np.int64)
+
+    def simulate_words(self, input_words: np.ndarray) -> np.ndarray:
+        input_words = np.asarray(input_words, dtype=np.uint64)
+        if input_words.ndim != 2 or input_words.shape[0] != self.inputs.size:
+            raise ValueError(
+                f"expected {self.inputs.size} input rows, got "
+                f"{input_words.shape[0] if input_words.ndim == 2 else input_words.shape}"
+            )
+        n_words = input_words.shape[1]
+        values = np.zeros((self.n_nets, n_words), dtype=np.uint64)
+        if self.inputs.size:
+            values[self.inputs] = input_words
+        if self.const1_nets.size:
+            values[self.const1_nets] = _ALL_ONES
+        self._kern["eval_good_words"](
+            values,
+            self._ev_op,
+            self._ev_out,
+            self._ev_inv,
+            self._ev_start,
+            self._ev_len,
+            self._ev_flat,
+        )
+        return values
+
+    def fault_batch_detection(
+        self,
+        faults: Sequence["Fault"],
+        good: np.ndarray,
+        n_words: int,
+        valid_mask: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        n_faults = len(faults)
+        if n_faults == 0:
+            return np.zeros((0, n_words), dtype=np.uint64)
+        good = np.ascontiguousarray(good, dtype=np.uint64)
+        if valid_mask is None:
+            mask = np.full(n_words, _ALL_ONES, dtype=np.uint64)
+        else:
+            mask = np.ascontiguousarray(valid_mask, dtype=np.uint64)
+
+        cones = [self.fault_cone(fault).astype(np.int64) for fault in faults]
+        cone_len = np.asarray([cone.size for cone in cones], dtype=np.int64)
+        cone_start = np.zeros(n_faults, dtype=np.int64)
+        np.cumsum(cone_len[:-1], out=cone_start[1:])
+        cone_flat = (
+            np.concatenate(cones) if cone_len.sum() else np.zeros(0, dtype=np.int64)
+        )
+
+        f_net = np.asarray([fault.net for fault in faults], dtype=np.int64)
+        f_stuck = np.asarray(
+            [_ALL_ONES if fault.stuck_value else _ZERO for fault in faults],
+            dtype=np.uint64,
+        )
+        f_stem = np.asarray([fault.is_stem for fault in faults], dtype=bool)
+        f_gate = np.asarray(
+            [-1 if fault.is_stem else fault.gate for fault in faults], dtype=np.int64
+        )
+        pins = [
+            np.zeros(0, dtype=np.int64)
+            if fault.is_stem
+            else self.lowered.pin_offsets(fault.gate, fault.net).astype(np.int64)
+            for fault in faults
+        ]
+        pin_len = np.asarray([p.size for p in pins], dtype=np.int64)
+        pin_start = np.zeros(n_faults, dtype=np.int64)
+        np.cumsum(pin_len[:-1], out=pin_start[1:])
+        pin_flat = (
+            np.concatenate(pins) if pin_len.sum() else np.zeros(0, dtype=np.int64)
+        )
+
+        return self._kern["fault_replay_detect"](
+            good,
+            mask,
+            self._out_nets,
+            self._ev_op,
+            self._ev_out,
+            self._ev_inv,
+            self._ev_start,
+            self._ev_len,
+            self._ev_flat,
+            self._gate_pos,
+            cone_flat,
+            cone_start,
+            cone_len,
+            f_net,
+            f_stuck,
+            f_stem,
+            f_gate,
+            pin_flat,
+            pin_start,
+            pin_len,
+        )
+
+
+class NumbaCop(CompiledCop):
+    """Probability-domain engine with JIT-compiled forward/backward folds."""
+
+    def __init__(self, lowered: LoweredCircuit, kernels: Dict[str, Callable]):
+        super().__init__(lowered)
+        self._kern = kernels
+        gids = _eval_order_gates(lowered)
+        self._ev_op = lowered.gate_op[gids].astype(np.int8)
+        self._ev_out = lowered.gate_output[gids].astype(np.int64)
+        self._ev_invb = lowered.gate_invert[gids].copy()
+        self._ev_start = lowered.gate_fanin_start[gids].astype(np.int64)
+        self._ev_len = lowered.gate_fanin_len[gids].astype(np.int64)
+        self._ev_flat = lowered.gate_fanin_flat.astype(np.int64)
+
+        # Pin tables in global slot order (levels descending, gates
+        # ascending, positions ascending — the canonical numbering).
+        src_parts, out_parts, op_parts, side_parts = [], [], [], []
+        side_lens = []
+        for pin_level in lowered.pin_levels:
+            src_parts.append(pin_level.pin_src.astype(np.int64))
+            out_parts.append(
+                pin_level.outputs[pin_level.pin_gate_local].astype(np.int64)
+            )
+            ops = pin_level.ops[pin_level.pin_gate_local].astype(np.int8)
+            op_parts.append(ops)
+            gate_ids = pin_level.gate_ids
+            for pi in range(pin_level.pin_src.size):
+                if ops[pi] == OP_XOR:
+                    side_lens.append(0)
+                    continue
+                gate = int(gate_ids[pin_level.pin_gate_local[pi]])
+                position = int(pin_level.pin_position[pi])
+                inputs = lowered.gate_inputs(gate)
+                side = np.delete(inputs, position).astype(np.int64)
+                side_parts.append(side)
+                side_lens.append(side.size)
+        self._pin_src = _concat(src_parts, np.int64)
+        self._pin_out = _concat(out_parts, np.int64)
+        self._pin_op = _concat(op_parts, np.int8)
+        self._side_nets = _concat(side_parts, np.int64)
+        self._side_len = np.asarray(side_lens, dtype=np.int64)
+        self._side_start = np.zeros(self._side_len.size, dtype=np.int64)
+        if self._side_len.size:
+            np.cumsum(self._side_len[:-1], out=self._side_start[1:])
+
+    def signal_probabilities_batch(self, weights, overrides=None) -> np.ndarray:
+        matrix = self._weights_matrix(weights)
+        n_rows = matrix.shape[0]
+        probs = np.zeros((n_rows, self.n_nets), dtype=float)
+        if self.inputs.size:
+            probs[:, self.inputs] = matrix
+        if self.const1_nets.size:
+            probs[:, self.const1_nets] = 1.0
+        self._apply_overrides(probs, overrides)
+        self._kern["cop_forward"](
+            probs,
+            self._ev_op,
+            self._ev_out,
+            self._ev_invb,
+            self._ev_start,
+            self._ev_len,
+            self._ev_flat,
+        )
+        return probs
+
+    def observabilities_batch(self, probs: np.ndarray):
+        if probs.ndim != 2 or probs.shape[1] != self.n_nets:
+            raise ValueError(f"expected a (B, {self.n_nets}) matrix, got {probs.shape}")
+        probs = np.ascontiguousarray(probs, dtype=float)
+        n_rows = probs.shape[0]
+        miss = np.ones((n_rows, self.n_nets), dtype=float)
+        if self.output_nets.size:
+            miss[:, self.output_nets] = 0.0
+        pin_obs = np.zeros((n_rows, self.n_pins), dtype=float)
+        self._kern["cop_backward"](
+            probs,
+            miss,
+            pin_obs,
+            self._pin_src,
+            self._pin_out,
+            self._pin_op,
+            self._side_start,
+            self._side_len,
+            self._side_nets,
+        )
+        return 1.0 - miss, pin_obs
+
+
+class NumbaBackend(KernelBackend):
+    """JIT performance backend (optional ``numba`` dependency).
+
+    Args:
+        force_python: run the kernel bodies as plain Python instead of
+            JIT-compiling them.  Slow, but available everywhere — the mode
+            the differential tests use to pin the kernel logic bit-identical
+            to the numpy backend on machines without numba.
+    """
+
+    name = "numba"
+
+    def __init__(self, force_python: bool = False):
+        self.force_python = force_python
+
+    @property
+    def cache_key(self) -> str:
+        return "numba:py" if self.force_python else "numba"
+
+    def available(self) -> bool:
+        return HAVE_NUMBA or self.force_python
+
+    def compile(self, lowered: LoweredCircuit) -> KernelEngine:
+        self.require_available()
+        engine = lowered._backend_engines.get(self.cache_key)
+        if engine is None:
+            kernels = get_kernels(force_python=self.force_python)
+            engine = KernelEngine(
+                self.name,
+                lowered,
+                sim_factory=lambda: NumbaSimEngine(lowered, kernels),
+                cop_factory=lambda: NumbaCop(lowered, kernels),
+            )
+            lowered._backend_engines[self.cache_key] = engine
+        return engine

@@ -1,0 +1,61 @@
+"""The reference backend: vectorized numpy kernels over the lowered IR.
+
+This backend *is* the pre-existing compiled engine pair —
+:class:`~repro.simulation.compiled.CompiledCircuit` and
+:class:`~repro.analysis.compiled.CompiledCop` — exposed through the backend
+protocol.  It is always available, defines the bit-exact reference results
+every other backend must reproduce, and shares the engine instances with the
+legacy :func:`~repro.simulation.compiled.compile_circuit` /
+:func:`~repro.analysis.compiled.compile_cop` entry points (one engine per
+circuit structure process-wide, whichever path compiled it first).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .base import KernelBackend, KernelEngine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.compiled import CompiledCop
+    from ..lowered import LoweredCircuit
+    from ..simulation.compiled import CompiledCircuit
+
+__all__ = ["NumpyBackend"]
+
+
+def _sim_engine(lowered: "LoweredCircuit") -> "CompiledCircuit":
+    from ..simulation.compiled import CompiledCircuit
+
+    if lowered._sim_engine is None:
+        lowered._sim_engine = CompiledCircuit(lowered)
+    return lowered._sim_engine
+
+
+def _cop_engine(lowered: "LoweredCircuit") -> "CompiledCop":
+    from ..analysis.compiled import CompiledCop
+
+    if lowered._cop_engine is None:
+        lowered._cop_engine = CompiledCop(lowered)
+    return lowered._cop_engine
+
+
+class NumpyBackend(KernelBackend):
+    """Always-available reference backend (vectorized numpy ufunc kernels)."""
+
+    name = "numpy"
+
+    def available(self) -> bool:
+        return True
+
+    def compile(self, lowered: "LoweredCircuit") -> KernelEngine:
+        engine = lowered._backend_engines.get(self.cache_key)
+        if engine is None:
+            engine = KernelEngine(
+                self.name,
+                lowered,
+                sim_factory=lambda: _sim_engine(lowered),
+                cop_factory=lambda: _cop_engine(lowered),
+            )
+            lowered._backend_engines[self.cache_key] = engine
+        return engine

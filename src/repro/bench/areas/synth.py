@@ -12,7 +12,14 @@ that dominate pipeline cost at scale:
   that both produce identical detection probabilities;
 * the compiled fault simulator on weighted random patterns — throughput is
   tracked (machine-dependent, ungated) while the detection count and fault
-  coverage are deterministic for a fixed seed and gated.
+  coverage are deterministic for a fixed seed and gated;
+* PPSFP fault partitioning with inter-batch compaction vs. the same run with
+  dropping disabled — the gated ``partition_speedup`` ratio, plus the exact
+  ``faults_simulated_*`` counters that make the work reduction measurable;
+* one ``fault_sim_<backend>``/``batched_cop_<backend>`` section per
+  *available* kernel backend (:mod:`repro.backends`) — tracked, never gated
+  (baselines may be recorded on machines without the optional JIT), with
+  every backend cross-checked bit-identical against the default run.
 
 Full mode uses a 100 000-gate netlist (the acceptance workload); quick mode
 shrinks it to 4 000 gates for CI.  The structural fingerprint counter pins
@@ -23,6 +30,7 @@ up as a ``changed`` counter, not a silent workload swap.
 from __future__ import annotations
 
 from ...analysis import BatchedCopEstimator, CopDetectionEstimator
+from ...backends import available_backends
 from ...circuits import GeneratorSpec, generate_circuit
 from ...faults import collapsed_fault_list
 from ...faultsim import ParallelFaultSimulator
@@ -40,6 +48,7 @@ _QUICK = dict(
     n_faults=128,
     n_patterns=256,
     batch_size=256,
+    partition_size=32,
 )
 _FULL = dict(
     generator=GeneratorSpec(
@@ -48,6 +57,7 @@ _FULL = dict(
     n_faults=512,
     n_patterns=512,
     batch_size=512,
+    partition_size=128,
 )
 
 
@@ -55,16 +65,18 @@ def run_bench(quick: bool = False, repeats: int = 2) -> BenchResult:
     """Generate, lower and analyze a large seeded synthetic netlist."""
     workload = _QUICK if quick else _FULL
     spec: GeneratorSpec = workload["generator"]
-    n_faults, n_patterns, batch_size = (
+    n_faults, n_patterns, batch_size, partition_size = (
         workload["n_faults"],
         workload["n_patterns"],
         workload["batch_size"],
+        workload["partition_size"],
     )
 
     runner = BenchRunner("synth", quick=quick, repeats=repeats)
     runner.workload(
         n_patterns=n_patterns,
         batch_size=batch_size,
+        partition_size=partition_size,
         **{f"generator_{key}": value for key, value in spec.to_dict().items()
            if key not in ("gate_mix", "name")},
     )
@@ -123,6 +135,68 @@ def run_bench(quick: bool = False, repeats: int = 2) -> BenchResult:
     runner.metric(
         "pairs_per_second", len(faults) * n_patterns / sim.best_seconds
     )
+
+    # PPSFP partitioning + inter-batch compaction vs. dropping disabled.
+    # The simulated-fault counters are deterministic (they depend only on the
+    # detection outcomes and the batch/partition geometry), so they are
+    # committed exactly; the wall-time ratio is gated with a hard floor —
+    # compacting the active set must beat re-simulating every fault.  A
+    # quarter-size batch gives the comparison several inter-batch compaction
+    # points even in quick mode (detection results are batch-size invariant).
+    partition_batch = max(64, batch_size // 4)
+    runner.workload(partition_batch=partition_batch)
+    partitioned = runner.measure(
+        "fault_sim_partitioned",
+        lambda: ParallelFaultSimulator(
+            circuit, faults, partition_size=partition_size
+        ).run(patterns, batch_size=partition_batch),
+    )
+    nodrop = runner.measure(
+        "fault_sim_nodrop",
+        lambda: ParallelFaultSimulator(circuit, faults).run(
+            patterns, batch_size=partition_batch, drop_detected=False
+        ),
+    )
+    if partitioned.value != sim.value or nodrop.value != sim.value:
+        raise AssertionError(
+            "partitioned / no-drop fault simulation changed detection results"
+        )
+    runner.counter(
+        "faults_simulated_partitioned", partitioned.value.stats.faults_simulated
+    )
+    runner.counter("faults_simulated_nodrop", nodrop.value.stats.faults_simulated)
+    runner.metric(
+        "partition_speedup", nodrop.best_seconds / partitioned.best_seconds
+    )
+
+    # Per-backend sections (tracked, never gated: committed baselines must
+    # stay valid on machines without the optional numba dependency).
+    for backend_name in available_backends():
+        backend_sim = runner.measure(
+            f"fault_sim_{backend_name}",
+            lambda name=backend_name: ParallelFaultSimulator(
+                circuit, faults, backend=name, partition_size=partition_size
+            ).run(patterns, batch_size=batch_size),
+        )
+        if backend_sim.value != sim.value:
+            raise AssertionError(
+                f"backend {backend_name!r} changed fault-simulation results"
+            )
+        runner.metric(
+            f"pairs_per_second_{backend_name}",
+            len(faults) * n_patterns / backend_sim.best_seconds,
+        )
+        backend_cop = runner.measure(
+            f"batched_cop_{backend_name}",
+            lambda name=backend_name: BatchedCopEstimator(
+                backend=name
+            ).detection_probabilities(circuit, faults, input_probs),
+        )
+        if (backend_cop.value != batched.value).any():
+            raise AssertionError(
+                f"backend {backend_name!r} changed COP detection probabilities"
+            )
+
     return runner.result(speedup=("scalar_cop", "batched_cop"))
 
 
@@ -135,6 +209,11 @@ AREA = register_area(
             # Scalar-vs-batched COP ratio is machine-portable; the floor
             # guards the "compiled analysis must beat the reference" claim.
             "speedup": MetricPolicy(direction="higher", rel_tol=0.4, floor=1.0),
+            # No-drop vs. partitioned-with-compaction wall-time ratio: the
+            # floor guards "compaction must beat re-simulating everything".
+            "partition_speedup": MetricPolicy(
+                direction="higher", rel_tol=0.5, floor=1.0
+            ),
             # Deterministic for a fixed generator/pattern seed.
             "fault_coverage": MetricPolicy(direction="higher", abs_tol=1e-9),
             "peak_rss_bytes": RSS_POLICY,

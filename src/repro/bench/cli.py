@@ -147,6 +147,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if not paths:
         print(f"no BENCH_*.json trajectories under {root}", file=sys.stderr)
         return 2
+    if args.plot_dir:
+        from .plot import render_all
+
+        trajectories = [load_trajectory(path) for path in paths]
+        for plot_path in render_all(trajectories, Path(args.plot_dir)):
+            print(f"wrote plot {plot_path}")
+        print()
     for path in paths:
         trajectory = load_trajectory(path)
         try:
@@ -213,6 +220,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=5,
         help="history points to show per area in 'report' (default: %(default)s)",
     )
+    parser.add_argument(
+        "--plot-dir",
+        metavar="DIR",
+        help="in 'report': also render the committed trajectories as plot "
+        "artifacts (one image per area) into this directory",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("numpy", "numba"),
+        default=None,
+        help="process-default kernel backend for the benchmark run "
+        "(results are bit-identical; only throughput changes)",
+    )
+    parser.add_argument(
+        "--allow-backend-fallback",
+        action="store_true",
+        help="fall back to the numpy backend when --backend is unavailable "
+        "instead of failing",
+    )
     return parser
 
 
@@ -220,6 +246,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.backend is not None:
+        from ..backends import BackendUnavailableError, resolve_backend, set_default_backend
+
+        try:
+            set_default_backend(resolve_backend(args.backend, args.allow_backend_fallback).name)
+        except BackendUnavailableError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if args.areas and args.areas[0] == "list":
         return _cmd_list(args)
     if args.areas and args.areas[0] == "report":

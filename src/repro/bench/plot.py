@@ -1,0 +1,173 @@
+"""Render committed ``BENCH_*.json`` perf trajectories as plot artifacts.
+
+One image per area: small multiples, one panel per metric, with the quick-
+and full-mode series drawn separately (their workloads differ, so mixing
+them in one line would fabricate jumps).  With :mod:`matplotlib` installed
+(the ``[plot]`` extra) the output is a PNG; without it a dependency-free
+hand-written SVG is produced — CI artifact uploads work either way, and the
+renderer never becomes a hard dependency of the bench gate itself.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .artifacts import BenchTrajectory
+
+__all__ = ["HAVE_MATPLOTLIB", "render_trajectory", "render_all"]
+
+try:  # pragma: no cover - exercised only with the [plot] extra installed
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    HAVE_MATPLOTLIB = True
+except ImportError:
+    plt = None
+    HAVE_MATPLOTLIB = False
+
+#: (label, color) per mode, shared by both renderers.
+_MODES: Tuple[Tuple[str, str], ...] = (("full", "#1f77b4"), ("quick", "#ff7f0e"))
+
+
+def _series(trajectory: BenchTrajectory) -> Dict[str, Dict[str, List[Tuple[int, float]]]]:
+    """``metric -> mode -> [(point index, value), ...]`` in first-seen order.
+
+    Counters ride along with metrics — a trajectory plot is about evolution,
+    and deterministic counters evolving (gate counts, test lengths) is
+    exactly what a reviewer wants to see.  Point indices stay global so
+    quick/full series of one metric share the x axis.
+    """
+    series: Dict[str, Dict[str, List[Tuple[int, float]]]] = {}
+    for index, point in enumerate(trajectory.points):
+        mode = "quick" if point.quick else "full"
+        for name, value in list(point.metrics.items()) + list(point.counters.items()):
+            series.setdefault(name, {}).setdefault(mode, []).append(
+                (index, float(value))
+            )
+    return series
+
+
+def _fmt(value: float) -> str:
+    if float(value).is_integer() and abs(value) < 1e15:
+        return f"{int(value):,}"
+    return f"{value:.4g}"
+
+
+def _render_svg(trajectory: BenchTrajectory, series, path: Path) -> None:
+    """Dependency-free small-multiples SVG (one panel row per metric)."""
+    panel_w, panel_h, pad, label_w = 520, 56, 10, 230
+    names = list(series)
+    width = label_w + panel_w + 2 * pad
+    height = pad + 24 + len(names) * (panel_h + pad) + pad
+    n_points = max(len(trajectory.points), 1)
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{pad}" y="{pad + 12}" font-family="monospace" font-size="14" '
+        f'font-weight="bold">{trajectory.area} — {n_points} committed point(s)</text>',
+    ]
+    for row, name in enumerate(names):
+        top = pad + 24 + row * (panel_h + pad)
+        values = [v for points in series[name].values() for _, v in points]
+        lo, hi = min(values), max(values)
+        span = (hi - lo) or 1.0
+        parts.append(
+            f'<text x="{pad}" y="{top + panel_h / 2}" font-family="monospace" '
+            f'font-size="11">{name}</text>'
+        )
+        parts.append(
+            f'<rect x="{label_w}" y="{top}" width="{panel_w}" height="{panel_h}" '
+            f'fill="#f7f7f7" stroke="#cccccc"/>'
+        )
+        for mode, color in _MODES:
+            points = series[name].get(mode)
+            if not points:
+                continue
+            coords = []
+            for index, value in points:
+                x = label_w + (
+                    panel_w / 2
+                    if n_points == 1
+                    else index * panel_w / (n_points - 1)
+                )
+                y = top + panel_h - 6 - (value - lo) / span * (panel_h - 12)
+                coords.append(f"{x:.1f},{y:.1f}")
+            if len(coords) == 1:
+                x, y = coords[0].split(",")
+                parts.append(
+                    f'<circle cx="{x}" cy="{y}" r="3" fill="{color}"/>'
+                )
+            else:
+                parts.append(
+                    f'<polyline points="{" ".join(coords)}" fill="none" '
+                    f'stroke="{color}" stroke-width="1.5"/>'
+                )
+        parts.append(
+            f'<text x="{label_w + panel_w - 6}" y="{top + 12}" '
+            f'font-family="monospace" font-size="9" fill="#666666" '
+            f'text-anchor="end">last {_fmt(values[-1])} '
+            f"[{_fmt(lo)}, {_fmt(hi)}]</text>"
+        )
+    legend = "  ".join(f"{label}={color}" for label, color in _MODES)
+    parts.append(
+        f'<text x="{pad}" y="{height - 4}" font-family="monospace" '
+        f'font-size="9" fill="#666666">{legend}</text>'
+    )
+    parts.append("</svg>")
+    path.write_text("\n".join(parts) + "\n")
+
+
+def _render_png(trajectory: BenchTrajectory, series, path: Path) -> None:  # pragma: no cover
+    names = list(series)
+    fig, axes = plt.subplots(
+        len(names), 1, figsize=(8, 1.6 * len(names) + 1), sharex=True, squeeze=False
+    )
+    for ax, name in zip(axes[:, 0], names):
+        for mode, color in _MODES:
+            points = series[name].get(mode)
+            if points:
+                ax.plot(
+                    [i for i, _ in points],
+                    [v for _, v in points],
+                    marker="o",
+                    markersize=3,
+                    color=color,
+                    label=mode,
+                )
+        ax.set_ylabel(name, fontsize=7)
+        ax.tick_params(labelsize=7)
+    axes[0, 0].legend(fontsize=7)
+    axes[-1, 0].set_xlabel("committed point")
+    fig.suptitle(f"{trajectory.area} — committed perf trajectory")
+    fig.tight_layout()
+    fig.savefig(path, dpi=120)
+    plt.close(fig)
+
+
+def render_trajectory(trajectory: BenchTrajectory, out_dir: Path) -> Optional[Path]:
+    """Render one area trajectory into ``out_dir``; None when it has no points."""
+    series = _series(trajectory)
+    if not series:
+        return None
+    out_dir.mkdir(parents=True, exist_ok=True)
+    if HAVE_MATPLOTLIB:  # pragma: no cover - exercised with the [plot] extra
+        path = out_dir / f"bench_{trajectory.area}.png"
+        _render_png(trajectory, series, path)
+    else:
+        path = out_dir / f"bench_{trajectory.area}.svg"
+        _render_svg(trajectory, series, path)
+    return path
+
+
+def render_all(trajectories: Sequence[BenchTrajectory], out_dir: Path) -> List[Path]:
+    """Render every trajectory; returns the written paths."""
+    paths = []
+    for trajectory in trajectories:
+        path = render_trajectory(trajectory, out_dir)
+        if path is not None:
+            paths.append(path)
+    return paths

@@ -1,13 +1,14 @@
 """Fault simulation: compiled fault-parallel simulator, per-fault interpreted
 baseline and scalar serial reference."""
 
-from .parallel import FaultSimResult, ParallelFaultSimulator
+from .parallel import FaultSimResult, FaultSimStats, ParallelFaultSimulator
 from .legacy import LegacyParallelFaultSimulator
 from .serial import detecting_pattern_count, fault_detected_by, simulate_with_fault
 from .coverage import CoverageExperiment, coverage_curve, random_pattern_coverage
 
 __all__ = [
     "FaultSimResult",
+    "FaultSimStats",
     "ParallelFaultSimulator",
     "LegacyParallelFaultSimulator",
     "fault_detected_by",

@@ -25,7 +25,7 @@ differential-tested against this implementation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -33,10 +33,10 @@ import numpy as np
 from ..circuit.netlist import Circuit
 from ..faults.collapse import collapsed_fault_list
 from ..faults.model import Fault
-from ..simulation.compiled import compile_circuit, first_detection_indices, popcount_words
+from ..simulation.compiled import first_detection_indices, popcount_words
 from ..simulation.logicsim import WORD_BITS, pack_patterns
 
-__all__ = ["ParallelFaultSimulator", "FaultSimResult"]
+__all__ = ["ParallelFaultSimulator", "FaultSimResult", "FaultSimStats"]
 
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
 
@@ -50,6 +50,92 @@ _TARGET_COLUMNS = 4096
 _MAX_ADAPTIVE_GROUP = 64
 
 
+@dataclass(frozen=True)
+class FaultSimStats:
+    """Observability counters of one :meth:`ParallelFaultSimulator.run_stream`.
+
+    These make the PPSFP fault-dropping machinery *measurable*: partitioning
+    gains show up as shrinking :attr:`active_sizes` and a falling
+    :attr:`faults_simulated` total rather than being inferred from wall time.
+
+    Attributes:
+        backend: kernel backend the run executed on.
+        partition_size: configured PPSFP partition size (``None`` = one
+            partition spanning the whole active set).
+        n_batches: pattern batches simulated against at least one live fault.
+        faults_simulated: total fault-batch simulations, i.e. the sum of the
+            active-set size over all batches.
+        faults_dropped: faults physically removed from the active partition
+            arrays by inter-batch compaction.
+        active_sizes: active-set size at the start of each simulated batch.
+    """
+
+    backend: str
+    partition_size: Optional[int]
+    n_batches: int
+    faults_simulated: int
+    faults_dropped: int
+    active_sizes: Tuple[int, ...]
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable artifact dict (job-spec API)."""
+        from ..api.serialize import tagged_dict
+
+        return tagged_dict(
+            "fault_sim_stats",
+            {
+                "backend": self.backend,
+                "partition_size": self.partition_size,
+                "n_batches": int(self.n_batches),
+                "faults_simulated": int(self.faults_simulated),
+                "faults_dropped": int(self.faults_dropped),
+                "active_sizes": [int(size) for size in self.active_sizes],
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultSimStats":
+        """Rebuild stats from :meth:`to_dict` output (validated)."""
+        from ..api.serialize import untag
+
+        payload = untag(
+            data,
+            "fault_sim_stats",
+            required=(
+                "backend",
+                "n_batches",
+                "faults_simulated",
+                "faults_dropped",
+                "active_sizes",
+            ),
+            optional=("partition_size",),
+        )
+        partition_size = payload["partition_size"]
+        return cls(
+            backend=str(payload["backend"]),
+            partition_size=None if partition_size is None else int(partition_size),
+            n_batches=int(payload["n_batches"]),
+            faults_simulated=int(payload["faults_simulated"]),
+            faults_dropped=int(payload["faults_dropped"]),
+            active_sizes=tuple(int(size) for size in payload["active_sizes"]),
+        )
+
+    def merged_with(self, other: "FaultSimStats") -> "FaultSimStats":
+        """Counters of two back-to-back runs combined."""
+        return FaultSimStats(
+            backend=self.backend if self.backend == other.backend else "mixed",
+            partition_size=(
+                self.partition_size
+                if self.partition_size == other.partition_size
+                else None
+            ),
+            n_batches=self.n_batches + other.n_batches,
+            faults_simulated=self.faults_simulated + other.faults_simulated,
+            faults_dropped=self.faults_dropped + other.faults_dropped,
+            active_sizes=self.active_sizes + other.active_sizes,
+        )
+
+
 @dataclass
 class FaultSimResult:
     """Result of a fault simulation run.
@@ -59,11 +145,15 @@ class FaultSimResult:
         first_detection: maps each detected fault to the (0-based) index of the
             first pattern that detects it.
         n_patterns: total number of patterns applied.
+        stats: optional run counters (:class:`FaultSimStats`).  Excluded from
+            equality — two runs are "the same result" when they agree on the
+            detection outcome, whatever backend or partitioning produced it.
     """
 
     faults: List[Fault]
     first_detection: Dict[Fault, int]
     n_patterns: int
+    stats: Optional[FaultSimStats] = field(default=None, compare=False)
 
     @property
     def detected(self) -> List[Fault]:
@@ -102,17 +192,17 @@ class FaultSimResult:
         from ..api.serialize import tagged_dict
 
         index_of = {fault: i for i, fault in enumerate(self.faults)}
-        return tagged_dict(
-            "fault_sim_result",
-            {
-                "faults": [fault.to_list() for fault in self.faults],
-                "first_detection": sorted(
-                    [index_of[fault], int(idx)]
-                    for fault, idx in self.first_detection.items()
-                ),
-                "n_patterns": int(self.n_patterns),
-            },
-        )
+        payload = {
+            "faults": [fault.to_list() for fault in self.faults],
+            "first_detection": sorted(
+                [index_of[fault], int(idx)]
+                for fault, idx in self.first_detection.items()
+            ),
+            "n_patterns": int(self.n_patterns),
+        }
+        if self.stats is not None:
+            payload["stats"] = self.stats.to_dict()
+        return tagged_dict("fault_sim_result", payload)
 
     @classmethod
     def from_dict(cls, data: Dict) -> "FaultSimResult":
@@ -120,14 +210,23 @@ class FaultSimResult:
         from ..api.serialize import untag
 
         payload = untag(
-            data, "fault_sim_result", required=("faults", "first_detection", "n_patterns")
+            data,
+            "fault_sim_result",
+            required=("faults", "first_detection", "n_patterns"),
+            optional=("stats",),
         )
         faults = [Fault.from_list(entry) for entry in payload["faults"]]
         first_detection = {
             faults[int(fault_index)]: int(pattern_index)
             for fault_index, pattern_index in payload["first_detection"]
         }
-        return cls(faults, first_detection, int(payload["n_patterns"]))
+        stats = payload["stats"]
+        return cls(
+            faults,
+            first_detection,
+            int(payload["n_patterns"]),
+            stats=None if stats is None else FaultSimStats.from_dict(stats),
+        )
 
     def merged_with(self, other: "FaultSimResult") -> "FaultSimResult":
         """Combine two runs over the *same* fault list applied back to back.
@@ -141,7 +240,15 @@ class FaultSimResult:
         for fault, idx in other.first_detection.items():
             if fault not in combined:
                 combined[fault] = idx + self.n_patterns
-        return FaultSimResult(self.faults, combined, self.n_patterns + other.n_patterns)
+        stats = None
+        if self.stats is not None and other.stats is not None:
+            stats = self.stats.merged_with(other.stats)
+        return FaultSimResult(
+            self.faults,
+            combined,
+            self.n_patterns + other.n_patterns,
+            stats=stats,
+        )
 
 
 class ParallelFaultSimulator:
@@ -153,6 +260,18 @@ class ParallelFaultSimulator:
         fault_group: number of faults simulated simultaneously per group;
             ``None`` picks a size that fills :data:`_TARGET_COLUMNS` pattern
             words per value matrix.
+        backend: kernel backend name (``"numpy"``, ``"numba"``); ``None``
+            uses the process default.  Backends are bit-identical, so this
+            only selects the execution strategy.
+        allow_fallback: run on the numpy reference backend when the
+            requested backend is unavailable instead of raising
+            :class:`~repro.backends.BackendUnavailableError`.
+        partition_size: PPSFP-style fault partition size for
+            :meth:`run_stream` — the active fault set is processed in
+            partitions of at most this many faults, and detected faults are
+            physically compacted out of the partition arrays between
+            batches.  ``None`` keeps one partition spanning the active set.
+            Detection results are invariant under this choice.
     """
 
     def __init__(
@@ -160,15 +279,30 @@ class ParallelFaultSimulator:
         circuit: Circuit,
         faults: Optional[Sequence[Fault]] = None,
         fault_group: Optional[int] = None,
+        backend: Optional[str] = None,
+        allow_fallback: bool = False,
+        partition_size: Optional[int] = None,
     ):
         self.circuit = circuit
         self.faults: List[Fault] = (
             list(faults) if faults is not None else collapsed_fault_list(circuit)
         )
         self.fault_group = fault_group
-        # One compile per circuit structure process-wide: the engine (and the
-        # lowering underneath it) comes from the content-addressed cache.
-        self._engine = compile_circuit(circuit)
+        if partition_size is not None and partition_size < 1:
+            raise ValueError(f"partition_size must be positive, got {partition_size!r}")
+        self.partition_size = partition_size
+        # Imported lazily: repro.backends pulls in the analysis package,
+        # which reaches back into this module via the Monte-Carlo estimator.
+        from ..backends import compile_engines
+
+        # One compile per circuit structure per backend process-wide: the
+        # engine (and the lowering underneath it) comes from the
+        # content-addressed cache.
+        kernel_engine = compile_engines(
+            circuit, backend=backend, allow_fallback=allow_fallback
+        )
+        self.backend_name = kernel_engine.backend_name
+        self._engine = kernel_engine.sim
         self.lowered = self._engine.lowered
 
     def _group_size(self, n_words: int) -> int:
@@ -241,23 +375,29 @@ class ParallelFaultSimulator:
                 stream, matching :meth:`run` exactly.
 
         Returns:
-            a :class:`FaultSimResult` with first-detection indices and the
-            number of patterns consumed from the stream.
+            a :class:`FaultSimResult` with first-detection indices, the
+            number of patterns consumed from the stream and the run's
+            :class:`FaultSimStats` counters.
         """
         engine = self._engine
-        live: List[Fault] = [
-            self.faults[fi] for fi in self._site_level_order(self.faults)
-        ]
-        first_detection: Dict[Fault, int] = {}
         n_faults = len(self.faults)
+        # PPSFP active set: fault indices, site-level sorted, physically
+        # compacted between batches — dropped faults vanish from the arrays
+        # instead of being masked, so later batches never touch them.
+        active = np.asarray(self._site_level_order(self.faults), dtype=np.int64)
+        first_det = np.full(n_faults, -1, dtype=np.int64)
         applied = 0
+        n_batches = 0
+        faults_simulated = 0
+        faults_dropped = 0
+        active_sizes: List[int] = []
 
         for chunk in chunks:
             chunk = np.asarray(chunk, dtype=bool)
             chunk_len = chunk.shape[0]
-            if live:
+            if active.size:
                 for start in range(0, chunk_len, batch_size):
-                    if not live:
+                    if active.size == 0:
                         break
                     batch = chunk[start : start + batch_size]
                     batch_len = batch.shape[0]
@@ -265,35 +405,58 @@ class ParallelFaultSimulator:
                     good = engine.simulate_words(pack_patterns(batch))
                     mask = _valid_mask(batch_len, n_words)
                     group_size = self._group_size(n_words)
-                    still_live: List[Fault] = []
-                    for g_start in range(0, len(live), group_size):
-                        group = live[g_start : g_start + group_size]
-                        detection = engine.fault_batch_detection(
-                            group, good, n_words, valid_mask=mask
-                        )
-                        firsts = first_detection_indices(detection)
-                        for fault, first in zip(group, firsts):
-                            if first >= 0:
-                                # Without dropping a fault stays live after
+                    n_batches += 1
+                    active_sizes.append(int(active.size))
+                    faults_simulated += int(active.size)
+                    partition_size = (
+                        self.partition_size
+                        if self.partition_size is not None
+                        else int(active.size)
+                    )
+                    for p_start in range(0, int(active.size), partition_size):
+                        partition = active[p_start : p_start + partition_size]
+                        for g_start in range(0, int(partition.size), group_size):
+                            group_idx = partition[g_start : g_start + group_size]
+                            group = [self.faults[fi] for fi in group_idx]
+                            detection = engine.fault_batch_detection(
+                                group, good, n_words, valid_mask=mask
+                            )
+                            firsts = first_detection_indices(detection)
+                            hit = firsts >= 0
+                            if hit.any():
+                                # Without dropping a fault stays active after
                                 # detection; never let a later batch overwrite
                                 # the first index.
-                                if fault not in first_detection:
-                                    first_detection[fault] = (
-                                        applied + start + int(first)
-                                    )
-                                if not drop_detected:
-                                    still_live.append(fault)
-                            else:
-                                still_live.append(fault)
-                    live = still_live
+                                hit_idx = group_idx[hit]
+                                fresh = first_det[hit_idx] < 0
+                                first_det[hit_idx[fresh]] = (
+                                    applied + start + firsts[hit][fresh]
+                                )
+                    if drop_detected:
+                        before = int(active.size)
+                        active = active[first_det[active] < 0]
+                        faults_dropped += before - int(active.size)
             applied += chunk_len
             if (
                 target_coverage is not None
                 and n_faults
-                and len(first_detection) / n_faults >= target_coverage
+                and int((first_det >= 0).sum()) / n_faults >= target_coverage
             ):
                 break
-        return FaultSimResult(list(self.faults), first_detection, applied)
+        first_detection = {
+            self.faults[fi]: int(first_det[fi])
+            for fi in range(n_faults)
+            if first_det[fi] >= 0
+        }
+        stats = FaultSimStats(
+            backend=self.backend_name,
+            partition_size=self.partition_size,
+            n_batches=n_batches,
+            faults_simulated=faults_simulated,
+            faults_dropped=faults_dropped,
+            active_sizes=tuple(active_sizes),
+        )
+        return FaultSimResult(list(self.faults), first_detection, applied, stats=stats)
 
     def detection_counts(
         self, patterns: np.ndarray, batch_size: int = 2048

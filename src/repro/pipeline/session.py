@@ -391,6 +391,13 @@ class Session:
         drop_redundant: remove faults proven/estimated undetectable from the
             default fault list (the paper's coverage convention).  Explicit
             ``faults`` passed to :meth:`add` are used as-is.
+        backend: kernel backend name for the analysis and fault-simulation
+            stages (``"numpy"``/``"numba"``; ``None`` = process default).
+            Backends are bit-identical, so results never depend on this.
+        allow_backend_fallback: fall back to the numpy backend when the
+            requested backend is unavailable instead of raising.
+        partition_size: PPSFP fault partition size for the fault-simulation
+            stage (``None`` = one partition spanning all active faults).
     """
 
     def __init__(
@@ -403,12 +410,19 @@ class Session:
         seed: int = 1987,
         quantization_step: float = 0.05,
         drop_redundant: bool = True,
+        backend: Optional[str] = None,
+        allow_backend_fallback: bool = False,
+        partition_size: Optional[int] = None,
     ):
         if not 0.0 < confidence < 1.0:
             raise ValueError("confidence must lie strictly between 0 and 1")
         self.confidence = confidence
         self.estimator: DetectionProbabilityEstimator = (
-            estimator if estimator is not None else BatchedCopEstimator()
+            estimator
+            if estimator is not None
+            else BatchedCopEstimator(
+                backend=backend, allow_fallback=allow_backend_fallback
+            )
         )
         self.max_sweeps = max_sweeps
         self.alpha = alpha
@@ -416,6 +430,9 @@ class Session:
         self.seed = seed
         self.quantization_step = quantization_step
         self.drop_redundant = drop_redundant
+        self.backend = backend
+        self.allow_backend_fallback = allow_backend_fallback
+        self.partition_size = partition_size
         self._entries: Dict[str, _Entry] = {}
 
     # ------------------------------------------------------------------ #
@@ -430,10 +447,14 @@ class Session:
         """
         optimize = spec.optimize if spec.optimize is not None else OptimizeConfig()
         quantize = spec.quantize if spec.quantize is not None else QuantizeConfig()
+        fault_sim = spec.fault_sim if spec.fault_sim is not None else FaultSimConfig()
         estimator: DetectionProbabilityEstimator = (
             CopDetectionEstimator()
             if spec.analysis.estimator == "scalar"
-            else BatchedCopEstimator()
+            else BatchedCopEstimator(
+                backend=spec.analysis.backend,
+                allow_fallback=spec.analysis.allow_fallback,
+            )
         )
         return cls(
             confidence=spec.analysis.confidence,
@@ -444,6 +465,9 @@ class Session:
             seed=spec.seed,
             quantization_step=quantize.step,
             drop_redundant=spec.analysis.drop_redundant,
+            backend=fault_sim.backend,
+            allow_backend_fallback=fault_sim.allow_fallback,
+            partition_size=fault_sim.partition_size,
         )
 
     def _estimator_name(self, strict: bool = True) -> str:
@@ -470,6 +494,8 @@ class Session:
             confidence=self.confidence,
             drop_redundant=self.drop_redundant,
             estimator=self._estimator_name(strict=strict),
+            backend=getattr(self.estimator, "backend", None),
+            allow_fallback=bool(getattr(self.estimator, "allow_fallback", False)),
         )
 
     def optimize_config(self) -> OptimizeConfig:
@@ -519,7 +545,12 @@ class Session:
             analysis=self.analysis_config(strict=strict),
             optimize=self.optimize_config(),
             quantize=self.quantize_config(),
-            fault_sim=FaultSimConfig(n_patterns=n_patterns),
+            fault_sim=FaultSimConfig(
+                n_patterns=n_patterns,
+                backend=self.backend,
+                allow_fallback=self.allow_backend_fallback,
+                partition_size=self.partition_size,
+            ),
             self_test=self_test,
         )
 
@@ -721,6 +752,9 @@ class Session:
         batch_size: int = 2048,
         fault_group: Optional[int] = None,
         target_coverage: Optional[float] = None,
+        backend: Optional[str] = None,
+        allow_fallback: Optional[bool] = None,
+        partition_size: Optional[int] = None,
     ) -> CoverageExperiment:
         """Fault-simulate ``n_patterns`` (weighted) random patterns (cached).
 
@@ -733,11 +767,21 @@ class Session:
         compiled engine is shared with every other stage through the lowered
         IR.  Patterns are streamed chunkwise (never materialized as one
         matrix); ``target_coverage`` stops the stream early once that
-        coverage fraction is reached.
+        coverage fraction is reached.  ``backend``/``allow_fallback``/
+        ``partition_size`` default to the session-level settings; detection
+        results are bit-identical across backends and partitionings (only
+        the attached :class:`~repro.faultsim.FaultSimStats` differ), but the
+        cache still keys on them so the stats stay faithful.
         """
         entry = self._entry(key)
         self.lowered(key)
         seed = self.stage_seed("fault_sim", key) if seed is None else seed
+        if backend is None:
+            backend = self.backend
+        if allow_fallback is None:
+            allow_fallback = self.allow_backend_fallback
+        if partition_size is None:
+            partition_size = self.partition_size
         weight_key = None if weights is None else tuple(float(w) for w in weights)
         cache_key = (
             int(n_patterns),
@@ -746,6 +790,9 @@ class Session:
             int(batch_size),
             fault_group,
             target_coverage,
+            backend,
+            bool(allow_fallback),
+            partition_size,
         )
         cached = entry.coverage_cache.get(cache_key)
         if cached is None:
@@ -758,6 +805,9 @@ class Session:
                 batch_size=batch_size,
                 fault_group=fault_group,
                 target_coverage=target_coverage,
+                backend=backend,
+                allow_fallback=bool(allow_fallback),
+                partition_size=partition_size,
             )
             entry.coverage_cache[cache_key] = cached
         return cached

@@ -1,0 +1,442 @@
+"""Kernel-backend registry, numba-vs-numpy differential suite and PPSFP
+fault-partitioning invariance.
+
+The differential suite is the backend contract: on every registry circuit and
+on seeded synthetic netlists, the numba backend's word-domain logic values,
+fault-detection words and float64 COP probabilities must equal the numpy
+reference *exactly* (uint64 bitwise ops are order-exact; the JIT kernels
+replicate the numpy engines' sequential fold order bit for bit).  Without the
+optional ``numba`` package the same kernels run in forced-Python mode, so the
+suite always executes — the CI ``backends`` leg re-runs it against the real
+JIT.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from functools import lru_cache
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import backends
+from repro.api.serialize import SchemaError
+from repro.api.spec import AnalysisConfig, FaultSimConfig, PipelineSpec
+from repro.backends import (
+    BACKEND_NAMES,
+    BackendUnavailableError,
+    KernelBackend,
+    NumbaBackend,
+    NumpyBackend,
+    available_backends,
+    compile_engines,
+    default_backend_name,
+    get_backend,
+    resolve_backend,
+    set_default_backend,
+)
+from repro.backends._numba_kernels import HAVE_NUMBA
+from repro.circuits.generator import GeneratorSpec, generate_circuit
+from repro.circuits.registry import build_circuit, circuit_keys
+from repro.faults import collapsed_fault_list, full_fault_list
+from repro.faultsim import FaultSimStats, ParallelFaultSimulator
+from repro.lowered import compile_lowered
+from repro.simulation import pack_patterns
+
+from .helpers import random_circuit
+
+#: The numba backend under test: the real JIT when installed, else the same
+#: kernels in forced-Python mode (bit-identical by construction).
+NUMBA_BACKEND = NumbaBackend(force_python=not HAVE_NUMBA)
+
+#: Seeded synthetic netlists for the differential suite (≥ 5 per ISSUE).
+SYNTH_SPECS = (
+    GeneratorSpec(n_inputs=8, n_gates=40, depth=6, seed=101, name="synth40"),
+    GeneratorSpec(n_inputs=6, n_gates=25, depth=5, min_fanin=1, max_fanin=3, seed=404, name="synth25"),
+    GeneratorSpec(n_inputs=12, n_gates=120, depth=10, seed=202, name="synth120"),
+    GeneratorSpec(n_inputs=10, n_gates=80, depth=8, max_fanin=5, seed=505, name="synth80"),
+    GeneratorSpec(n_inputs=16, n_gates=300, depth=12, seed=303, name="synth300"),
+    GeneratorSpec(n_inputs=20, n_gates=500, depth=14, seed=606, name="synth500"),
+)
+
+DIFFERENTIAL_LABELS = tuple(circuit_keys()) + tuple(s.name for s in SYNTH_SPECS)
+
+
+@lru_cache(maxsize=None)
+def _circuit(label):
+    for spec in SYNTH_SPECS:
+        if spec.name == label:
+            return generate_circuit(spec)
+    return build_circuit(label)
+
+
+@lru_cache(maxsize=None)
+def _engines(label):
+    """(numpy engine, numba engine) pair sharing one lowering."""
+    lowered = compile_lowered(_circuit(label))
+    return NumpyBackend().compile(lowered), NUMBA_BACKEND.compile(lowered)
+
+
+def _packed_patterns(circuit, n_patterns, seed=5):
+    rng = np.random.default_rng(seed)
+    patterns = rng.random((n_patterns, circuit.n_inputs)) < 0.5
+    return pack_patterns(patterns), n_patterns
+
+
+def _strided(faults, limit):
+    if len(faults) <= limit:
+        return list(faults)
+    return list(faults[:: max(1, len(faults) // limit)])
+
+
+def _budget(circuit):
+    """(n_patterns, fault limit) scaled down for the big ISCAS circuits."""
+    if circuit.n_gates > 2000:
+        return 96, 64
+    if circuit.n_gates > 500:
+        return 128, 96
+    return 130, 120
+
+
+@contextmanager
+def _numba_registered():
+    """Make the ``"numba"`` registry name runnable in this environment.
+
+    With numba installed this is a no-op; without it, the registered backend
+    is temporarily swapped for the forced-Python twin so spec/CLI paths that
+    say ``backend="numba"`` can execute end to end.
+    """
+    if HAVE_NUMBA:
+        yield
+        return
+    original = backends._BACKENDS["numba"]
+    backends._BACKENDS["numba"] = NUMBA_BACKEND
+    try:
+        yield
+    finally:
+        backends._BACKENDS["numba"] = original
+
+
+# --------------------------------------------------------------------------- #
+# Registry and resolution
+# --------------------------------------------------------------------------- #
+class TestBackendRegistry:
+    def test_backend_names(self):
+        assert BACKEND_NAMES == ("numpy", "numba")
+        assert isinstance(get_backend("numpy"), NumpyBackend)
+        assert isinstance(get_backend("numba"), NumbaBackend)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("cuda")
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("cuda")
+
+    def test_numpy_always_available(self):
+        assert "numpy" in available_backends()
+        assert get_backend("numpy").available()
+
+    def test_numba_availability_tracks_import(self):
+        assert get_backend("numba").available() == HAVE_NUMBA
+        assert ("numba" in available_backends()) == HAVE_NUMBA
+
+    def test_default_backend_is_numpy(self):
+        assert default_backend_name() == "numpy"
+        assert resolve_backend(None).name == "numpy"
+
+    def test_set_default_backend_round_trip(self):
+        try:
+            set_default_backend("numpy")
+            assert default_backend_name() == "numpy"
+            with pytest.raises(ValueError, match="unknown backend"):
+                set_default_backend("cuda")
+        finally:
+            set_default_backend("numpy")
+
+    def test_unavailable_backend_raises_or_falls_back(self):
+        class Stub(KernelBackend):
+            name = "stub"
+
+            def available(self):
+                return False
+
+            def compile(self, lowered):  # pragma: no cover - never reached
+                raise AssertionError
+
+        stub = Stub()
+        with pytest.raises(BackendUnavailableError):
+            stub.require_available()
+        backends._BACKENDS["stub"] = stub
+        try:
+            with pytest.raises(BackendUnavailableError, match="not available"):
+                resolve_backend("stub")
+            assert resolve_backend("stub", allow_fallback=True).name == "numpy"
+        finally:
+            del backends._BACKENDS["stub"]
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="numba installed: no fallback path")
+    def test_missing_numba_raises_with_install_hint(self):
+        with pytest.raises(BackendUnavailableError, match=r"\[numba\]"):
+            resolve_backend("numba")
+        assert resolve_backend("numba", allow_fallback=True).name == "numpy"
+
+    def test_forced_python_numba_backend_is_always_available(self):
+        assert NumbaBackend(force_python=True).available()
+        assert NumbaBackend(force_python=True).cache_key == "numba:py"
+
+    def test_compile_engines_caches_per_lowering(self):
+        circuit = _circuit("s1")
+        lowered = compile_lowered(circuit)
+        engine1 = compile_engines(lowered)
+        engine2 = compile_engines(circuit)
+        assert engine1 is engine2
+        assert engine1.backend_name == "numpy"
+        assert engine1.sim is engine1.sim  # lazily built once
+        assert engine1.cop is engine1.cop
+
+
+# --------------------------------------------------------------------------- #
+# Spec-level selection
+# --------------------------------------------------------------------------- #
+class TestSpecBackendFields:
+    def test_unknown_backend_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            FaultSimConfig(backend="cuda")
+        with pytest.raises(ValueError, match="unknown backend"):
+            AnalysisConfig(backend="cuda")
+
+    def test_unknown_backend_rejected_from_dict(self):
+        payload = FaultSimConfig().to_dict()
+        payload["backend"] = "cuda"
+        with pytest.raises(SchemaError, match="unknown backend"):
+            FaultSimConfig.from_dict(payload)
+
+    def test_round_trip_preserves_backend_fields(self):
+        config = FaultSimConfig(
+            backend="numba", allow_fallback=True, partition_size=32
+        )
+        assert FaultSimConfig.from_dict(config.to_dict()) == config
+        analysis = AnalysisConfig(backend="numba", allow_fallback=True)
+        assert AnalysisConfig.from_dict(analysis.to_dict()) == analysis
+
+    def test_legacy_payload_without_backend_fields_loads(self):
+        payload = FaultSimConfig(n_patterns=100).to_dict()
+        for key in ("backend", "allow_fallback", "partition_size"):
+            del payload[key]
+        config = FaultSimConfig.from_dict(payload)
+        assert config.backend is None
+        assert config.allow_fallback is False
+        assert config.partition_size is None
+
+    def test_spec_requesting_missing_numba_fails_clearly(self):
+        spec = PipelineSpec(
+            circuit="s1", fault_sim=FaultSimConfig(n_patterns=64, backend="numba")
+        )
+        from repro.api import execute_spec
+
+        if HAVE_NUMBA:
+            report = execute_spec(spec)
+            assert report.conventional_experiment.result.stats.backend == "numba"
+        else:
+            with pytest.raises(BackendUnavailableError, match="numba"):
+                execute_spec(spec)
+
+    def test_spec_with_fallback_runs_everywhere(self):
+        from repro.api import execute_spec
+
+        spec = PipelineSpec(
+            circuit="s1",
+            analysis=AnalysisConfig(backend="numba", allow_fallback=True),
+            fault_sim=FaultSimConfig(
+                n_patterns=64, backend="numba", allow_fallback=True
+            ),
+        )
+        baseline = execute_spec(PipelineSpec(circuit="s1", fault_sim=FaultSimConfig(n_patterns=64)))
+        report = execute_spec(spec)
+        assert (
+            report.conventional_experiment.result.first_detection
+            == baseline.conventional_experiment.result.first_detection
+        )
+        expected = "numba" if HAVE_NUMBA else "numpy"
+        assert report.conventional_experiment.result.stats.backend == expected
+
+
+# --------------------------------------------------------------------------- #
+# Differential suite: numba backend vs numpy reference, bit for bit
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("label", DIFFERENTIAL_LABELS)
+class TestDifferential:
+    def test_logic_simulation_bit_identical(self, label):
+        circuit = _circuit(label)
+        ref, jit = _engines(label)
+        n_patterns, _ = _budget(circuit)
+        words, _ = _packed_patterns(circuit, n_patterns)
+        assert np.array_equal(ref.sim.simulate_words(words), jit.sim.simulate_words(words))
+
+    def test_fault_detection_bit_identical(self, label):
+        circuit = _circuit(label)
+        ref, jit = _engines(label)
+        n_patterns, limit = _budget(circuit)
+        words, n = _packed_patterns(circuit, n_patterns, seed=7)
+        good = ref.sim.simulate_words(words)
+        n_words = words.shape[1]
+        # The full (uncollapsed) list exercises branch-fault pin injection.
+        for faults in (
+            _strided(collapsed_fault_list(circuit), limit),
+            _strided(full_fault_list(circuit), limit),
+        ):
+            expected = ref.sim.fault_batch_detection(faults, good, n_words)
+            actual = jit.sim.fault_batch_detection(faults, good, n_words)
+            assert np.array_equal(expected, actual)
+
+    def test_cop_analysis_bit_identical(self, label):
+        circuit = _circuit(label)
+        ref, jit = _engines(label)
+        rng = np.random.default_rng(11)
+        weights = rng.uniform(0.05, 0.95, size=(3, circuit.n_inputs))
+        # One row pins an input: the PREPARE cofactor path must match too.
+        overrides = [None, {circuit.inputs[0]: 1.0}, None]
+        ref_probs = ref.cop.signal_probabilities_batch(weights, overrides)
+        jit_probs = jit.cop.signal_probabilities_batch(weights, overrides)
+        assert np.array_equal(ref_probs, jit_probs)
+        ref_net, ref_pin = ref.cop.observabilities_batch(ref_probs)
+        jit_net, jit_pin = jit.cop.observabilities_batch(jit_probs)
+        assert np.array_equal(ref_net, jit_net)
+        assert np.array_equal(ref_pin, jit_pin)
+
+    def test_detection_probabilities_bit_identical(self, label):
+        circuit = _circuit(label)
+        ref, jit = _engines(label)
+        _, limit = _budget(circuit)
+        faults = _strided(collapsed_fault_list(circuit), limit)
+        rng = np.random.default_rng(13)
+        weights = rng.uniform(0.05, 0.95, size=(2, circuit.n_inputs))
+        expected = ref.cop.detection_probabilities_batch(faults, ref.cop.analyze(weights))
+        actual = jit.cop.detection_probabilities_batch(faults, jit.cop.analyze(weights))
+        assert np.array_equal(expected, actual)
+
+
+def test_run_stream_identical_across_backends():
+    """End-to-end: the fault simulator run under ``backend="numba"``."""
+    rng = np.random.default_rng(3)
+    with _numba_registered():
+        for label in ("s1", "c432", "synth40"):
+            circuit = _circuit(label)
+            patterns = rng.random((320, circuit.n_inputs)) < 0.5
+            baseline = ParallelFaultSimulator(circuit, backend="numpy").run(patterns)
+            variant = ParallelFaultSimulator(circuit, backend="numba").run(patterns)
+            assert variant == baseline
+            assert variant.stats.backend == "numba"
+
+
+# --------------------------------------------------------------------------- #
+# PPSFP partitioning: counters and invariance
+# --------------------------------------------------------------------------- #
+class TestFaultSimStats:
+    def _run(self, **kwargs):
+        circuit = _circuit("s1")
+        rng = np.random.default_rng(17)
+        patterns = rng.random((700, circuit.n_inputs)) < 0.5
+        sim = ParallelFaultSimulator(circuit, **kwargs)
+        return sim.run(patterns, batch_size=128)
+
+    def test_counters_are_consistent(self):
+        result = self._run(partition_size=16)
+        stats = result.stats
+        assert stats.backend == "numpy"
+        assert stats.partition_size == 16
+        assert stats.n_batches == len(stats.active_sizes)
+        assert stats.faults_simulated == sum(stats.active_sizes)
+        # Dropping shrinks the active set monotonically across batches.
+        assert list(stats.active_sizes) == sorted(stats.active_sizes, reverse=True)
+        assert stats.faults_dropped == len(result.first_detection)
+        assert stats.faults_dropped > 0
+
+    def test_no_dropping_keeps_active_set_full(self):
+        circuit = _circuit("s1")
+        rng = np.random.default_rng(17)
+        patterns = rng.random((700, circuit.n_inputs)) < 0.5
+        sim = ParallelFaultSimulator(circuit)
+        result = sim.run(patterns, batch_size=128, drop_detected=False)
+        stats = result.stats
+        n_faults = len(result.faults)
+        assert stats.faults_dropped == 0
+        assert set(stats.active_sizes) == {n_faults}
+        assert stats.faults_simulated == stats.n_batches * n_faults
+
+    def test_dropping_reduces_simulated_faults(self):
+        with_drop = self._run(partition_size=16).stats
+        without = FaultSimStats(
+            backend="numpy",
+            partition_size=16,
+            n_batches=with_drop.n_batches,
+            faults_simulated=with_drop.n_batches * max(with_drop.active_sizes),
+            faults_dropped=0,
+            active_sizes=(),
+        )
+        assert with_drop.faults_simulated < without.faults_simulated
+
+    def test_partitioning_never_changes_results(self):
+        baseline = self._run()
+        for partition_size in (1, 7, 64, 10_000):
+            result = self._run(partition_size=partition_size)
+            assert result == baseline
+            assert result.stats.partition_size == partition_size
+        assert baseline.stats.partition_size is None
+
+    def test_invalid_partition_size_rejected(self):
+        with pytest.raises(ValueError, match="partition_size"):
+            ParallelFaultSimulator(_circuit("s1"), partition_size=0)
+
+    def test_stats_serialization_round_trip(self):
+        result = self._run(partition_size=8)
+        payload = result.to_dict()
+        from repro.faultsim import FaultSimResult
+
+        restored = FaultSimResult.from_dict(payload)
+        assert restored == result
+        assert restored.stats == result.stats
+        # Stats are excluded from result equality but faithfully serialized.
+        assert restored.stats.active_sizes == result.stats.active_sizes
+
+    def test_stats_merge(self):
+        a = self._run(partition_size=8).stats
+        b = self._run(partition_size=8).stats
+        merged = a.merged_with(b)
+        assert merged.faults_simulated == a.faults_simulated + b.faults_simulated
+        assert merged.n_batches == a.n_batches + b.n_batches
+        assert merged.partition_size == 8
+        assert merged.backend == "numpy"
+
+
+# --------------------------------------------------------------------------- #
+# Property: run_stream results are invariant under every execution knob
+# --------------------------------------------------------------------------- #
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    fault_group=st.one_of(st.none(), st.integers(1, 9)),
+    partition_size=st.one_of(st.none(), st.integers(1, 17)),
+    batch_size=st.sampled_from([64, 128, 256]),
+    backend=st.sampled_from(["numpy", "numba"]),
+)
+def test_run_stream_invariant_under_execution_knobs(
+    seed, fault_group, partition_size, batch_size, backend
+):
+    rng = np.random.default_rng(seed)
+    circuit = random_circuit(rng, n_inputs=5, n_gates=12)
+    patterns = rng.random((300, circuit.n_inputs)) < 0.5
+    baseline = ParallelFaultSimulator(circuit).run(patterns, batch_size=128)
+    with _numba_registered():
+        variant = ParallelFaultSimulator(
+            circuit,
+            fault_group=fault_group,
+            partition_size=partition_size,
+            backend=backend,
+        ).run(patterns, batch_size=batch_size)
+    assert variant == baseline
+    points = [1, 10, 100, 300]
+    assert variant.coverage_curve(points) == baseline.coverage_curve(points)
+    assert variant.stats.backend == ("numba" if backend == "numba" else "numpy")

@@ -9,8 +9,13 @@ gate's behaviour is exercised without paying for a real optimization run:
   non-zero — the acceptance criterion of the CI gate;
 * a gated area without a committed baseline fails ``--check`` (so CI cannot
   silently pass before the first point is committed);
-* the four committed ``BENCH_*.json`` files at the repo root stay loadable
-  through :func:`repro.api.load_artifact` and carry a quick-mode baseline.
+* the five committed ``BENCH_*.json`` files at the repo root stay loadable
+  through :func:`repro.api.load_artifact` and carry both a quick-mode and a
+  full-mode baseline;
+* ``report --plot-dir`` renders every committed trajectory as an image
+  (PNG when matplotlib is installed, dependency-free SVG otherwise);
+* ``--backend`` pins the process-default kernel backend for the run, and an
+  unavailable backend is a clean exit-2 error unless fallback is allowed.
 """
 
 import json
@@ -155,6 +160,93 @@ class TestBenchCliGate:
         assert "synthetic" in out and "speedup" in out and "improved" in out
 
 
+class TestBenchCliPlots:
+    def test_report_plot_dir_renders_one_image_per_area(
+        self, synthetic_area, tmp_path, capsys
+    ):
+        root = str(tmp_path / "root")
+        Path(root).mkdir()
+        for speedup in (10.0, 12.0):
+            KNOBS["speedup"] = speedup
+            assert bench_main(["synthetic", "--quick", "--update", "--root", root]) == 0
+        plots = tmp_path / "plots"
+        capsys.readouterr()
+        assert bench_main(["report", "--root", root, "--plot-dir", str(plots)]) == 0
+        assert "wrote plot" in capsys.readouterr().out
+        images = sorted(plots.iterdir())
+        assert len(images) == 1
+        image = images[0]
+        assert image.name.startswith("bench_synthetic.")
+        if image.suffix == ".svg":
+            import xml.dom.minidom
+
+            xml.dom.minidom.parse(str(image))  # well-formed
+            content = image.read_text()
+            assert "speedup" in content and "test_length" in content
+
+    def test_render_skips_empty_trajectory(self, tmp_path):
+        from repro.bench.plot import render_trajectory
+
+        assert render_trajectory(BenchTrajectory(area="empty"), tmp_path) is None
+
+    def test_quick_and_full_series_are_split(self, synthetic_area, tmp_path):
+        from repro.bench.plot import _series
+
+        root = str(tmp_path)
+        assert bench_main(["synthetic", "--quick", "--update", "--root", root]) == 0
+        assert bench_main(["synthetic", "--update", "--root", root]) == 0
+        trajectory = load_artifact(
+            json.loads((tmp_path / "BENCH_synthetic.json").read_text())
+        )
+        series = _series(trajectory)
+        assert set(series["speedup"]) == {"quick", "full"}
+
+
+class TestBenchCliBackendFlag:
+    def test_backend_numpy_accepted(self, synthetic_area, tmp_path):
+        from repro.backends import default_backend_name, set_default_backend
+
+        try:
+            assert (
+                bench_main(
+                    ["synthetic", "--quick", "--update", "--backend", "numpy",
+                     "--root", str(tmp_path)]
+                )
+                == 0
+            )
+            assert default_backend_name() == "numpy"
+        finally:
+            set_default_backend("numpy")
+
+    def test_unavailable_backend_exits_2_or_sets_default(self, capsys):
+        from repro.backends import default_backend_name, set_default_backend
+        from repro.backends._numba_kernels import HAVE_NUMBA
+
+        try:
+            code = bench_main(["list", "--backend", "numba"])
+            if HAVE_NUMBA:
+                assert code == 0
+                assert default_backend_name() == "numba"
+            else:
+                assert code == 2
+                assert "not available" in capsys.readouterr().err
+                assert default_backend_name() == "numpy"
+        finally:
+            set_default_backend("numpy")
+
+    def test_unavailable_backend_with_fallback_runs_on_numpy(self, capsys):
+        from repro.backends import default_backend_name, set_default_backend
+
+        try:
+            assert (
+                bench_main(["list", "--backend", "numba", "--allow-backend-fallback"])
+                == 0
+            )
+            assert default_backend_name() in ("numpy", "numba")
+        finally:
+            set_default_backend("numpy")
+
+
 class TestBenchCliSurface:
     def test_unknown_area_exits_2(self, capsys):
         assert bench_main(["no_such_area"]) == 2
@@ -175,9 +267,11 @@ class TestBenchCliSurface:
 
 
 class TestCommittedTrajectories:
-    """The four committed BENCH_*.json files are valid, loadable artifacts."""
+    """The five committed BENCH_*.json files are valid, loadable artifacts."""
 
-    @pytest.mark.parametrize("area_name", ["substrate", "table5", "session", "bist"])
+    @pytest.mark.parametrize(
+        "area_name", ["substrate", "table5", "session", "bist", "synth"]
+    )
     def test_committed_trajectory_is_valid(self, area_name):
         path = REPO_ROOT / f"BENCH_{area_name}.json"
         assert path.exists(), f"{path} must be committed (python -m repro bench --update)"
@@ -186,9 +280,28 @@ class TestCommittedTrajectories:
         assert trajectory.area == area_name
         baseline = trajectory.baseline_for(quick=True)
         assert baseline is not None, "CI gates against a committed quick-mode point"
+        full = trajectory.baseline_for(quick=False)
+        assert full is not None, "acceptance runs gate against a full-mode point"
         # Volatile fields are present in the committed artifact but scrubbed
         # from the canonical form the round-trip tests compare.
         assert "timing" not in baseline.canonical_dict()
+
+    def test_committed_synth_full_point_shows_partitioning_win(self):
+        """The acceptance workload: on the 100k-gate netlist, PPSFP
+        partitioning with inter-batch compaction beats re-simulating
+        every fault, and the committed counters record the reduction."""
+        trajectory = load_artifact(
+            json.loads((REPO_ROOT / "BENCH_synth.json").read_text())
+        )
+        point = trajectory.baseline_for(quick=False)
+        assert point.workload["generator_n_gates"] == 100_000
+        assert point.metrics["partition_speedup"] > 1.0
+        assert (
+            point.counters["faults_simulated_partitioned"]
+            < point.counters["faults_simulated_nodrop"]
+        )
+        # Per-backend sections are committed for the reference backend.
+        assert "pairs_per_second_numpy" in point.metrics
 
     def test_every_gated_area_has_a_committed_trajectory(self):
         for name in gated_area_names():
