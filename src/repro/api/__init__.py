@@ -8,8 +8,12 @@ The public seam of the reproduction, decoupling *description* from
   :class:`FaultSimConfig`, :class:`SelfTestConfig`) composed into a
   :class:`PipelineSpec` (circuit reference + root seed with deterministic
   per-stage seed derivation), all with validated JSON round trips;
-* :mod:`repro.api.executor` — :func:`execute_spec` runs one spec and
-  produces a :class:`~repro.pipeline.session.PipelineReport` artifact;
+* :mod:`repro.api.plan` — :func:`build_plan` resolves a spec into a pure
+  :class:`ExecutionPlan`: circuit ref, per-stage seeds and the
+  content-addressed store keys the execute layer caches by;
+* :mod:`repro.api.executor` — :func:`execute_spec` runs one spec (consulting
+  an optional :mod:`repro.store` artifact store first) and produces a
+  :class:`~repro.pipeline.session.PipelineReport` artifact;
 * :mod:`repro.api.jobs` — :func:`run_jobs` / :func:`iter_jobs` fan a spec
   batch out over a process pool (per-worker compile caches, streamed
   results, bit-identical to the serial path);
@@ -23,9 +27,16 @@ builds specs from loose kwargs and delegates to this subsystem.
 """
 
 from .artifacts import load_artifact, report_batch_dict, row_from_dict, row_to_dict
-from .executor import execute_spec, resolve_n_patterns
+from .executor import execute_spec, execution_count, executor_stats, resolve_n_patterns
 from .jobs import JobResult, iter_jobs, run_jobs
-from .serialize import SCHEMA_VERSION, SchemaError
+from .plan import ExecutionPlan, StagePlan, build_plan, report_store_key
+from .serialize import (
+    SCHEMA_VERSION,
+    SchemaError,
+    canonical_json,
+    content_hash,
+    scrub_volatile,
+)
 from .spec import (
     SEED_NAMESPACES,
     STAGE_NAMES,
@@ -51,7 +62,16 @@ __all__ = [
     "PipelineSpec",
     "derive_seed",
     "execute_spec",
+    "execution_count",
+    "executor_stats",
     "resolve_n_patterns",
+    "ExecutionPlan",
+    "StagePlan",
+    "build_plan",
+    "report_store_key",
+    "canonical_json",
+    "content_hash",
+    "scrub_volatile",
     "JobResult",
     "run_jobs",
     "iter_jobs",

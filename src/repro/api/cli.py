@@ -25,6 +25,16 @@ spec files) and writing JSON artifact files that round-trip through
     (:func:`repro.experiments.batch.suite_specs`) and print them; ``--json``
     writes the rows as an ``experiment_rows`` artifact.
 
+``serve``
+    The always-on job service (:mod:`repro.service`): accept spec
+    submissions over HTTP, deduplicate by spec hash, execute cold specs on
+    a worker pool and serve warm ones from the content-addressed artifact
+    store (``--store DIR`` makes the store durable).
+
+``store``
+    Inspect and maintain an artifact store directory: ``ls`` keys, ``get``
+    one artifact as JSON, ``gc`` down to ``--max-entries``/``--max-bytes``.
+
 ``bench``
     The benchmark harness (:mod:`repro.bench.cli`): run benchmark areas,
     compare against the committed ``BENCH_<area>.json`` perf trajectories,
@@ -34,6 +44,9 @@ spec files) and writing JSON artifact files that round-trip through
 Examples::
 
     python -m repro run s1 --json s1.json
+    python -m repro run s1 --store /tmp/repro-store   # second run: store hit
+    python -m repro serve --store /tmp/repro-store --port 8787
+    python -m repro store --store /tmp/repro-store ls
     python -m repro run s1 c7552 --patterns 2000 --parallelism 2 --json out.json
     python -m repro run --bench examples/c17.bench --patterns 256
     python -m repro run --spec myjob.json
@@ -74,17 +87,23 @@ def _write_artifact(path: Optional[str], data: Dict[str, Any]) -> None:
     print(f"wrote {path}")
 
 
+def _spec_error(path: str, exc: Exception) -> "SystemExit":
+    """Exit status 2 with a path-prefixed message (no traceback)."""
+    print(f"error: {path}: {exc}", file=sys.stderr)
+    return SystemExit(2)
+
+
 def _load_spec_file(path: str) -> PipelineSpec:
     try:
         data = json.loads(Path(path).read_text())
     except (OSError, json.JSONDecodeError) as exc:
-        raise SystemExit(f"error: cannot read spec file {path!r}: {exc}")
+        raise _spec_error(path, exc)
     from .serialize import SchemaError
 
     try:
         return PipelineSpec.from_dict(data)
     except SchemaError as exc:
-        raise SystemExit(f"error: invalid spec file {path!r}: {exc}")
+        raise _spec_error(path, exc)
 
 
 def _stage_configs(args: argparse.Namespace) -> Dict[str, Any]:
@@ -112,12 +131,17 @@ def _stage_configs(args: argparse.Namespace) -> Dict[str, Any]:
     }
 
 
-def _execute_batch(specs: List[PipelineSpec], parallelism: Optional[int]) -> List:
+def _execute_batch(
+    specs: List[PipelineSpec],
+    parallelism: Optional[int],
+    store: Optional[str] = None,
+) -> List:
     """Run a batch, streaming one progress line per finished job."""
     reports: List = [None] * len(specs)
-    for result in iter_jobs(specs, parallelism=parallelism):
+    for result in iter_jobs(specs, parallelism=parallelism, store=store):
         reports[result.index] = result.report
-        print(f"[{result.spec.label}] {result.report.summary()}", flush=True)
+        marker = " (store hit)" if result.store_hit else ""
+        print(f"[{result.spec.label}] {result.report.summary()}{marker}", flush=True)
     return reports
 
 
@@ -141,7 +165,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if not specs:
         print("error: no circuits, --bench or --spec files given", file=sys.stderr)
         return 2
-    reports = _execute_batch(specs, args.parallelism)
+    reports = _execute_batch(specs, args.parallelism, store=args.store)
     if len(reports) == 1:
         _write_artifact(args.json, reports[0].to_dict())
     else:
@@ -159,7 +183,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     stages = _stage_configs(args)
     specs = [PipelineSpec(circuit=key, seed=args.seed, **stages) for key in keys]
-    reports = _execute_batch(specs, args.parallelism)
+    reports = _execute_batch(specs, args.parallelism, store=args.store)
     _write_artifact(args.json, report_batch_dict(reports))
     return 0
 
@@ -184,7 +208,7 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
             inject_hardest=args.inject_hardest,
         ),
     )
-    reports = _execute_batch([spec], parallelism=1)
+    reports = _execute_batch([spec], parallelism=1, store=args.store)
     report = reports[0]
     self_test = report.self_test
     print(f"golden signature : 0x{self_test.golden_signature:x}")
@@ -221,7 +245,7 @@ def _cmd_tables(args: argparse.Namespace) -> int:
         n_patterns=args.patterns,
         include_fault_sim=not args.quick,
     )
-    reports = _execute_batch(specs, args.parallelism)
+    reports = _execute_batch(specs, args.parallelism, store=args.store)
     print()
     rows: List[Any] = []
     for build_rows, formatter in (
@@ -247,6 +271,68 @@ def _cmd_tables(args: argparse.Namespace) -> int:
         rows.extend(listings)
     _write_artifact(args.json, experiment_rows_dict(rows))
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from ..service import serve
+
+    asyncio.run(
+        serve(
+            host=args.host,
+            port=args.port,
+            store=_open_cli_store(args, required=False),
+            parallelism=args.parallelism,
+            use_processes=args.processes or None,
+            grace=args.grace,
+        )
+    )
+    return 0
+
+
+def _open_cli_store(args: argparse.Namespace, required: bool = True):
+    from ..store import open_store
+
+    if args.store is None:
+        if required:
+            raise SystemExit("error: --store DIR is required")
+        return None
+    return open_store(
+        args.store,
+        max_entries=getattr(args, "store_max_entries", None),
+        max_bytes=getattr(args, "store_max_bytes", None),
+    )
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    store = _open_cli_store(args)
+    if args.store_command == "ls":
+        for key in store.keys():
+            print(key)
+        info = store.info()
+        print(
+            f"# {info['entries']} artifacts, {info.get('bytes', 0):,} bytes "
+            f"in {args.store}",
+            file=sys.stderr,
+        )
+        return 0
+    if args.store_command == "get":
+        artifact = store.get(args.key)
+        if artifact is None:
+            print(f"error: no artifact under {args.key!r}", file=sys.stderr)
+            return 1
+        print(json.dumps(artifact, indent=2))
+        return 0
+    if args.store_command == "gc":
+        evicted = store.gc(max_entries=args.max_entries, max_bytes=args.max_bytes)
+        info = store.info()
+        print(
+            f"evicted {evicted} artifacts; {info['entries']} remain "
+            f"({info.get('bytes', 0):,} bytes)"
+        )
+        return 0
+    raise SystemExit(f"unknown store command {args.store_command!r}")
 
 
 # --------------------------------------------------------------------------- #
@@ -302,6 +388,13 @@ def _add_common(parser: argparse.ArgumentParser, patterns_default=None) -> None:
         "(default: one partition; detection results are invariant)",
     )
     parser.add_argument("--json", metavar="PATH", help="write the JSON artifact here")
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="content-addressed artifact store directory shared by the batch "
+        "(reports already stored are served without executing)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -392,6 +485,84 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(tables)
     tables.set_defaults(func=_cmd_tables)
 
+    serve = commands.add_parser(
+        "serve",
+        help="run the always-on HTTP job service over an artifact store",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: %(default)s)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        help="TCP port; 0 picks a free port (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="artifact store directory (default: in-memory, process lifetime)",
+    )
+    serve.add_argument(
+        "--store-max-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evict least-recently-used artifacts beyond N",
+    )
+    serve.add_argument(
+        "--store-max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="evict least-recently-used artifacts beyond this total size",
+    )
+    serve.add_argument(
+        "--parallelism",
+        type=int,
+        default=1,
+        help="concurrent cold executions (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--processes",
+        action="store_true",
+        help="execute in worker processes instead of threads "
+        "(requires --store DIR)",
+    )
+    serve.add_argument(
+        "--grace",
+        type=float,
+        default=10.0,
+        help="seconds running jobs get to finish on shutdown (default: %(default)s)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    store = commands.add_parser(
+        "store", help="inspect and maintain an artifact store directory"
+    )
+    store.add_argument(
+        "--store", metavar="DIR", required=True, help="store directory"
+    )
+    store_commands = store.add_subparsers(dest="store_command", required=True)
+    store_commands.add_parser("ls", help="list stored artifact keys")
+    store_get = store_commands.add_parser("get", help="print one artifact as JSON")
+    store_get.add_argument("key", help="store key (namespace/digest)")
+    store_gc = store_commands.add_parser(
+        "gc", help="evict least-recently-used artifacts beyond the given bounds"
+    )
+    store_gc.add_argument(
+        "--max-entries", type=int, default=None, metavar="N", help="keep at most N"
+    )
+    store_gc.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="keep at most this total size",
+    )
+    store.set_defaults(func=_cmd_store)
+
     commands.add_parser(
         "bench",
         help="run benchmark areas and gate the committed perf trajectory "
@@ -410,4 +581,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        # The batch executor and the service shut their pools down on the
+        # way out; report the conventional 128+SIGINT status.
+        print("interrupted", file=sys.stderr)
+        return 130

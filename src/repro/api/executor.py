@@ -1,7 +1,8 @@
 """Execute one declarative pipeline spec and produce its result artifact.
 
-:func:`execute_spec` is the single execution path behind both public faces
-of the pipeline:
+:func:`execute_spec` is the *execute* layer of the spec → plan → execute →
+persist stack, and the single execution path behind every public face of
+the pipeline:
 
 * the batch executor (:func:`repro.api.run_jobs`) ships
   :class:`~repro.api.spec.PipelineSpec` dicts to worker processes, each of
@@ -9,55 +10,79 @@ of the pipeline:
 * the convenience layer (:class:`repro.pipeline.Session`) builds the spec
   from its kwargs and calls :func:`execute_spec` with *itself* as the
   caching execution context, so repeated in-process runs reuse lowerings,
-  analyses, optimizations and coverage experiments.
+  analyses, optimizations and coverage experiments;
+* the job service (:mod:`repro.service`) executes cold submissions here and
+  serves warm ones straight from the store.
 
-Either way the result is deterministic in the spec alone: every randomized
-stage seeds from ``spec.stage_seed(...)`` (derived from the root seed), so a
-spec executed serially, in a pool worker, or on another machine produces an
-identical :meth:`~repro.pipeline.session.PipelineReport.canonical_dict`.
+Execution follows the :class:`~repro.api.plan.ExecutionPlan` emitted by
+:func:`~repro.api.plan.build_plan`.  When a store is attached, the executor
+first consults the plan's **report key** — a hit short-circuits the whole
+run: zero stages execute, zero circuits are lowered, and the artifact is
+the previously persisted report, bit-identical under
+:meth:`~repro.pipeline.session.PipelineReport.canonical_dict`.  On a cold
+run the expensive stages (optimization, each coverage experiment) consult
+their own stage keys before computing and persist what they did compute,
+so partially-warm stores still save work.  Either way the result is
+deterministic in the spec alone: every randomized stage seeds from
+``spec.stage_seed(...)``, so a spec executed serially, in a pool worker, on
+another machine, or reassembled from store artifacts produces an identical
+canonical dict.
 """
 
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 import numpy as np
 
+from ..core.optimizer import OptimizationResult
 from ..core.quantize import quantize_to_lfsr_grid
+from ..faultsim.coverage import CoverageExperiment
+from .plan import DEFAULT_N_PATTERNS, build_plan, resolve_n_patterns
 from .spec import PipelineSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..pipeline.session import PipelineReport, Session
+    from ..store import ArtifactStore
 
-__all__ = ["execute_spec", "resolve_n_patterns"]
+__all__ = [
+    "DEFAULT_N_PATTERNS",
+    "execute_spec",
+    "execution_count",
+    "executor_stats",
+    "resolve_n_patterns",
+]
 
-#: Fallback fault-simulation pattern budget when neither the spec nor the
-#: benchmark registry names one (file, generator and inline sources).
-DEFAULT_N_PATTERNS = 4_000
+#: Process-wide execution counters.  ``executions`` counts cold
+#: :func:`execute_spec` runs (report-level store hits do NOT count);
+#: ``stage_runs``/``stage_hits`` count stages computed vs. served from a
+#: store.  The ``service`` bench area gates on deltas of these to prove
+#: that identical resubmissions execute zero stages.
+_STATS: Dict[str, int] = {"executions": 0, "stage_runs": 0, "stage_hits": 0}
 
 
-def resolve_n_patterns(spec: PipelineSpec) -> int:
-    """The fault-simulation pattern budget of a spec.
+def execution_count() -> int:
+    """Cold pipeline executions in this process (store hits excluded)."""
+    return _STATS["executions"]
 
-    Explicit ``spec.fault_sim.n_patterns`` wins; a ``builtin`` circuit
-    source falls back to its paper pattern budget (Tables 2/4); every other
-    source (file, generator, inline) uses :data:`DEFAULT_N_PATTERNS`.
-    """
-    if spec.fault_sim is not None and spec.fault_sim.n_patterns is not None:
-        return spec.fault_sim.n_patterns
-    source = spec.source
-    if source.kind == "builtin":
-        from ..circuits.registry import get_entry
 
-        entry = get_entry(source.key)
-        if entry is not None and entry.paper_pattern_count:
-            return entry.paper_pattern_count
-    return DEFAULT_N_PATTERNS
+def executor_stats() -> Dict[str, int]:
+    """Copy of the process-wide execution/stage counters."""
+    return dict(_STATS)
+
+
+def _stage_done(on_stage: Optional[Callable[[str], None]], name: str) -> None:
+    _STATS["stage_runs"] += 1
+    if on_stage is not None:
+        on_stage(name)
 
 
 def execute_spec(
-    spec: PipelineSpec, session: Optional["Session"] = None
+    spec: PipelineSpec,
+    session: Optional["Session"] = None,
+    store: Optional["ArtifactStore"] = None,
+    on_stage: Optional[Callable[[str], None]] = None,
 ) -> "PipelineReport":
     """Run every stage a spec declares and return the result artifact.
 
@@ -69,12 +94,29 @@ def execute_spec(
             cached artifacts (the convenience-layer path — the session's
             configs are expected to match the spec's, which
             :meth:`Session.spec` guarantees).
+        store: optional content-addressed artifact store (anything
+            :func:`repro.store.open_store` accepts).  A report-level hit
+            returns the persisted artifact without executing any stage;
+            otherwise stage artifacts are consulted/persisted individually
+            and the finished report is written back.
+        on_stage: optional progress callback, called with the stage name
+            after each executed stage (the job service streams these).
     """
     from ..pipeline.session import PipelineReport, Session
+    from ..store import open_store
 
+    store = open_store(store)
+    plan = build_plan(spec)
+
+    if store is not None:
+        cached = store.load(plan.report_key)
+        if isinstance(cached, PipelineReport):
+            return cached
+
+    _STATS["executions"] += 1
     if session is None:
         session = Session.from_spec(spec)
-    key = spec.label
+    key = plan.label
     start = time.perf_counter()
     if not session.has(key):
         session.add(spec.build_circuit(), key=key)
@@ -86,46 +128,56 @@ def execute_spec(
     conventional_length = session.required_length(
         key, confidence=spec.analysis.confidence
     )
+    _stage_done(on_stage, "analysis")
 
-    # Stage 2: optimization.
+    # Stage 2: optimization (store-cached; deterministic, so the entry is
+    # shared across specs that differ only in seed/label/fault-sim budget).
     optimization = None
+    optimize_hit = False
     if spec.optimize is not None:
-        optimization = session.optimize(key, max_sweeps=spec.optimize.max_sweeps)
+        optimize_key = plan.stage("optimize").store_keys["result"]
+        if store is not None:
+            cached = store.load(optimize_key)
+            if isinstance(cached, OptimizationResult):
+                optimization = cached
+                optimize_hit = True
+                _STATS["stage_hits"] += 1
+        if optimization is None:
+            optimization = session.optimize(key, max_sweeps=spec.optimize.max_sweeps)
+            if store is not None:
+                store.put(optimize_key, optimization.to_dict())
+            _stage_done(on_stage, "optimize")
 
-    # Stage 3: quantization.
+    # Stage 3: quantization (pure arithmetic on the optimization artifact).
     quantized = None
     if spec.quantize is not None:
         if spec.quantize.lfsr_resolution is not None:
             quantized = quantize_to_lfsr_grid(
                 optimization.weights, resolution=spec.quantize.lfsr_resolution
             )
+        elif optimize_hit:
+            # The stored artifact embeds the grid of exactly this spec's
+            # quantize config (it participates in the optimize stage key).
+            quantized = optimization.quantized_weights
         else:
             quantized = session.quantized_weights(key, step=spec.quantize.step)
+        _stage_done(on_stage, "quantize")
 
     # Stage 4: fault-simulated validation (conventional, then optimized).
-    n_patterns = None
+    n_patterns = plan.n_patterns
     conventional_experiment = None
     optimized_experiment = None
     if spec.fault_sim is not None:
         config = spec.fault_sim
-        n_patterns = resolve_n_patterns(spec)
-        fault_sim_seed = spec.stage_seed("fault_sim")
-        conventional_experiment = session.fault_simulate(
-            key,
-            n_patterns,
-            seed=fault_sim_seed,
-            batch_size=config.batch_size,
-            fault_group=config.fault_group,
-            target_coverage=config.target_coverage,
-            backend=config.backend,
-            allow_fallback=config.allow_fallback,
-            partition_size=config.partition_size,
+        stage = plan.stage("fault_sim")
+        fault_sim_seed = stage.seed
+        conventional_experiment = _coverage_experiment(
+            store, stage.store_keys["conventional"]
         )
-        if quantized is not None:
-            optimized_experiment = session.fault_simulate(
+        if conventional_experiment is None:
+            conventional_experiment = session.fault_simulate(
                 key,
                 n_patterns,
-                weights=quantized,
                 seed=fault_sim_seed,
                 batch_size=config.batch_size,
                 fault_group=config.fault_group,
@@ -134,6 +186,33 @@ def execute_spec(
                 allow_fallback=config.allow_fallback,
                 partition_size=config.partition_size,
             )
+            if store is not None:
+                store.put(
+                    stage.store_keys["conventional"], conventional_experiment.to_dict()
+                )
+            _stage_done(on_stage, "fault_sim")
+        if quantized is not None:
+            optimized_experiment = _coverage_experiment(
+                store, stage.store_keys["optimized"]
+            )
+            if optimized_experiment is None:
+                optimized_experiment = session.fault_simulate(
+                    key,
+                    n_patterns,
+                    weights=quantized,
+                    seed=fault_sim_seed,
+                    batch_size=config.batch_size,
+                    fault_group=config.fault_group,
+                    target_coverage=config.target_coverage,
+                    backend=config.backend,
+                    allow_fallback=config.allow_fallback,
+                    partition_size=config.partition_size,
+                )
+                if store is not None:
+                    store.put(
+                        stage.store_keys["optimized"], optimized_experiment.to_dict()
+                    )
+                _stage_done(on_stage, "fault_sim")
 
     # Stage 5: self test (BILBO / signature analysis).
     self_test_report = None
@@ -150,11 +229,12 @@ def execute_spec(
             use_lfsr=config.use_lfsr,
             misr_width=config.misr_width,
             misr_taps=config.misr_taps,
-            seed=spec.stage_seed("self_test"),
+            seed=plan.stage("self_test").seed,
             fault=fault,
         )
+        _stage_done(on_stage, "self_test")
 
-    return PipelineReport(
+    report = PipelineReport(
         key=key,
         circuit_name=circuit.name,
         n_gates=circuit.n_gates,
@@ -185,3 +265,19 @@ def execute_spec(
         lowerings=session.lowerings(key),
         seconds=time.perf_counter() - start,
     )
+    if store is not None:
+        store.put(plan.report_key, report.to_dict())
+    return report
+
+
+def _coverage_experiment(
+    store: Optional["ArtifactStore"], store_key: str
+) -> Optional[CoverageExperiment]:
+    """A stored coverage experiment, or ``None`` (counts a stage hit)."""
+    if store is None:
+        return None
+    cached = store.load(store_key)
+    if isinstance(cached, CoverageExperiment):
+        _STATS["stage_hits"] += 1
+        return cached
+    return None

@@ -20,6 +20,8 @@ can use it without import cycles.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Any, Dict, Iterable, Mapping, Optional, Sequence
 
 import numpy as np
@@ -27,17 +29,27 @@ import numpy as np
 __all__ = [
     "SCHEMA_VERSION",
     "SchemaError",
+    "VOLATILE_KEYS",
     "encode_array",
     "decode_array",
     "encode_optional_array",
     "decode_optional_array",
     "tagged_dict",
     "untag",
+    "scrub_volatile",
+    "canonical_json",
+    "content_hash",
 ]
 
 #: Version of the artifact wire format.  Bump on any incompatible change to a
 #: spec or report schema; decoders reject other versions.
 SCHEMA_VERSION = 1
+
+#: Artifact keys that describe the machine/process a result was produced on,
+#: not the mathematical result.  :func:`scrub_volatile` (and therefore every
+#: ``canonical_dict`` and :func:`content_hash`) drops them, so serial,
+#: parallel, cross-process and store-served runs of one spec compare equal.
+VOLATILE_KEYS = frozenset({"seconds", "cpu_seconds", "lowerings"})
 
 _NDARRAY_TAG = "__ndarray__"
 
@@ -135,3 +147,49 @@ def untag(
     for field in optional:
         payload[field] = data.get(field)
     return payload
+
+
+# --------------------------------------------------------------------------- #
+# Canonical forms and content hashes
+# --------------------------------------------------------------------------- #
+def scrub_volatile(data: Any) -> Any:
+    """Recursively drop the wall-clock/process-local keys from an artifact.
+
+    Only *tagged* dicts (artifact envelopes carrying a ``kind``) are
+    scrubbed; user-data mappings such as ``weight_map`` — whose keys are
+    circuit net names and could legitimately be called ``"seconds"`` — pass
+    through untouched.
+    """
+    if isinstance(data, dict):
+        tagged = "kind" in data
+        return {
+            key: scrub_volatile(value)
+            for key, value in data.items()
+            if not (tagged and key in VOLATILE_KEYS)
+        }
+    if isinstance(data, list):
+        return [scrub_volatile(item) for item in data]
+    return data
+
+
+def canonical_json(data: Any) -> str:
+    """The canonical JSON text of a JSON-safe value.
+
+    Sorted keys, no whitespace — two equal dicts always serialize to the
+    same bytes, whatever their insertion order, so this text is a stable
+    hashing substrate.  (Floats rely on Python's shortest-round-trip
+    ``repr``, which is deterministic across platforms for IEEE-754 doubles.)
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def content_hash(data: Any) -> str:
+    """The sha256 hex digest of an artifact's canonical content.
+
+    Volatile fields (:data:`VOLATILE_KEYS` inside tagged dicts) are scrubbed
+    first, so timings, CPU seconds and compile counts never perturb the
+    hash: two runs of the same spec — or the same spec hashed on different
+    machines — address the same content.  This is the identity the
+    content-addressed artifact store (:mod:`repro.store`) is keyed by.
+    """
+    return hashlib.sha256(canonical_json(scrub_volatile(data)).encode("utf-8")).hexdigest()

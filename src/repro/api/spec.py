@@ -414,9 +414,36 @@ class PipelineSpec:
         # The generated frozen-dataclass hash would crash on an inline
         # netlist dict; hash the canonical wire form instead so specs work
         # as set members / dict keys (dedup in batch drivers) either way.
-        import json
+        return hash(self.spec_hash())
 
-        return hash(json.dumps(self.to_dict(), sort_keys=True))
+    def canonical_dict(self) -> Dict[str, Any]:
+        """The spec's canonical content — what :meth:`spec_hash` digests.
+
+        Specs are purely declarative (no timings, compile counts or other
+        volatile fields), so this is simply :meth:`to_dict`; the method
+        exists so specs and reports share one canonicalization vocabulary.
+        """
+        return self.to_dict()
+
+    def spec_hash(self) -> str:
+        """Stable sha256 content hash of the spec (hex digest).
+
+        The digest is taken over the canonical JSON text of
+        :meth:`canonical_dict` (sorted keys, no whitespace), so it depends
+        only on the declarative content: the normalized circuit ref, the
+        key, the root seed and the stage configs.  Two equal specs — built
+        in different processes, loaded from different files, on different
+        machines — always hash identically, which makes this the dedup and
+        cache identity of the content-addressed artifact store and the job
+        service (``repro.store`` / ``repro.service``).
+
+        Note: a ``{"kind": "file", "path": ...}`` circuit ref hashes by its
+        *path* string, not the file bytes — use the self-contained ``text``
+        form when the store must be robust against files changing on disk.
+        """
+        from .serialize import content_hash
+
+        return content_hash(self.canonical_dict())
 
     # ------------------------------------------------------------------ #
     @property

@@ -55,6 +55,7 @@ import numpy as np
 from ..analysis.compiled import BatchedCopEstimator
 from ..analysis.detection import CopDetectionEstimator, DetectionProbabilityEstimator
 from ..analysis.redundancy import remove_redundant
+from ..api import serialize as _serialize
 from ..api.serialize import tagged_dict, untag
 from ..api.spec import (
     AnalysisConfig,
@@ -85,27 +86,9 @@ _SELFTEST_CACHE_LIMIT = 8
 #: Artifact keys that describe the machine the report was produced on, not
 #: the mathematical result; :meth:`PipelineReport.canonical_dict` drops them
 #: so serial/parallel/cross-process runs of the same spec compare equal.
-_VOLATILE_KEYS = frozenset({"seconds", "cpu_seconds", "lowerings"})
-
-
-def _scrub_volatile(data: Any) -> Any:
-    """Recursively drop the wall-clock/process-local keys from an artifact.
-
-    Only *tagged* dicts (artifact envelopes carrying a ``kind``) are
-    scrubbed; user-data mappings such as ``weight_map`` — whose keys are
-    circuit net names and could legitimately be called ``"seconds"`` — pass
-    through untouched.
-    """
-    if isinstance(data, dict):
-        tagged = "kind" in data
-        return {
-            key: _scrub_volatile(value)
-            for key, value in data.items()
-            if not (tagged and key in _VOLATILE_KEYS)
-        }
-    if isinstance(data, list):
-        return [_scrub_volatile(item) for item in data]
-    return data
+#: (Shared with the content-addressed store via :mod:`repro.api.serialize`.)
+_VOLATILE_KEYS = _serialize.VOLATILE_KEYS
+_scrub_volatile = _serialize.scrub_volatile
 
 
 @dataclass
@@ -398,6 +381,12 @@ class Session:
             requested backend is unavailable instead of raising.
         partition_size: PPSFP fault partition size for the fault-simulation
             stage (``None`` = one partition spanning all active faults).
+        store: optional content-addressed artifact store — anything
+            :func:`repro.store.open_store` accepts (an
+            :class:`~repro.store.ArtifactStore`, a directory path, or a
+            ``worker_ref`` dict).  :meth:`run` consults it before executing
+            and persists its reports into it, so repeated runs of one spec
+            across sessions, processes or machines cost one store read.
     """
 
     def __init__(
@@ -413,6 +402,7 @@ class Session:
         backend: Optional[str] = None,
         allow_backend_fallback: bool = False,
         partition_size: Optional[int] = None,
+        store: Optional[Any] = None,
     ):
         if not 0.0 < confidence < 1.0:
             raise ValueError("confidence must lie strictly between 0 and 1")
@@ -433,6 +423,9 @@ class Session:
         self.backend = backend
         self.allow_backend_fallback = allow_backend_fallback
         self.partition_size = partition_size
+        from ..store import open_store
+
+        self.store = open_store(store)
         self._entries: Dict[str, _Entry] = {}
 
     # ------------------------------------------------------------------ #
@@ -935,4 +928,4 @@ class Session:
         # override) cannot be named in the spec, but the in-process executor
         # path uses the session's estimator regardless.
         spec = self.spec(key, n_patterns=n_patterns, self_test=self_test, strict=False)
-        return execute_spec(spec, session=self)
+        return execute_spec(spec, session=self, store=self.store)

@@ -1,0 +1,29 @@
+"""The always-on test service: HTTP spec submissions over the artifact store.
+
+``python -m repro serve`` turns the batch pipeline into a long-running,
+deduplicating job service:
+
+* :mod:`repro.service.jobs` — :class:`JobService`, the asyncio core: one
+  in-flight execution per :meth:`~repro.api.spec.PipelineSpec.spec_hash`,
+  store-first answers, worker-pool execution, stage progress, graceful
+  drain;
+* :mod:`repro.service.http` — :class:`JobServer` / :func:`serve`, the
+  stdlib HTTP/1.1 face (``/jobs``, ``/healthz``, ``/statsz``, event
+  streams, ``/shutdown``).
+
+The north-star contract: a million identical requests cost one compilation
+and one run — every submission after the first is a content-addressed
+store read.
+"""
+
+from .http import JobServer, serve
+from .jobs import JOB_STATUSES, Job, JobService, ServiceClosed
+
+__all__ = [
+    "JOB_STATUSES",
+    "Job",
+    "JobServer",
+    "JobService",
+    "ServiceClosed",
+    "serve",
+]

@@ -1,0 +1,86 @@
+"""Content-addressed artifact store (the *persist* layer).
+
+The execution stack is spec → plan → execute → **persist**: the planning
+layer (:mod:`repro.api.plan`) derives a content-addressed key for the whole
+pipeline and for each cacheable stage, the executor consults a store here
+before running anything, and whatever it does run it writes back.  A second
+run of the same spec — same process, another process, another machine
+sharing the directory, or a million HTTP resubmissions through
+:mod:`repro.service` — costs one store read.
+
+Backends:
+
+* :class:`MemoryStore` — in-process LRU, the service default;
+* :class:`DiskStore` — durable directory layout with atomic writes,
+  integrity digests and mtime-LRU eviction (``run --store DIR``, ``serve
+  --store DIR``, ``python -m repro store {ls,get,gc}``).
+
+:func:`open_store` is the one constructor everything routes through: it
+accepts an existing store, a directory path, or the JSON-safe
+``worker_ref()`` dict that lets :mod:`repro.api.jobs` pool workers reopen
+the parent's disk store.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any, Mapping, Optional, Union
+
+from .base import ArtifactStore, StoreError, check_store_key
+from .disk import DiskStore
+from .memory import MemoryStore
+
+__all__ = [
+    "ArtifactStore",
+    "DiskStore",
+    "MemoryStore",
+    "StoreError",
+    "check_store_key",
+    "open_store",
+]
+
+StoreRef = Union[None, ArtifactStore, str, os.PathLike, Mapping[str, Any]]
+
+
+def open_store(
+    ref: StoreRef,
+    max_entries: Optional[int] = None,
+    max_bytes: Optional[int] = None,
+) -> Optional[ArtifactStore]:
+    """Resolve any store reference to an :class:`ArtifactStore` (or ``None``).
+
+    Accepted forms:
+
+    * ``None`` — no store (passed through; execution runs uncached);
+    * an :class:`ArtifactStore` — returned as-is (bounds args must be unset);
+    * a path (``str`` / ``os.PathLike``) — a :class:`DiskStore` rooted there;
+    * ``{"backend": "memory", ...}`` / ``{"backend": "disk", "root": ...}`` —
+      the :meth:`ArtifactStore.worker_ref` wire form.
+    """
+    if ref is None:
+        return None
+    if isinstance(ref, ArtifactStore):
+        if max_entries is not None or max_bytes is not None:
+            raise StoreError("cannot re-bound an already-open store")
+        return ref
+    if isinstance(ref, (str, os.PathLike)):
+        return DiskStore(Path(ref), max_entries=max_entries, max_bytes=max_bytes)
+    if isinstance(ref, Mapping):
+        backend = ref.get("backend")
+        if backend == "disk":
+            merged = dict(ref)
+            if max_entries is not None:
+                merged["max_entries"] = max_entries
+            if max_bytes is not None:
+                merged["max_bytes"] = max_bytes
+            return DiskStore.from_ref(merged)
+        if backend == "memory":
+            return MemoryStore(
+                max_entries=max_entries
+                if max_entries is not None
+                else ref.get("max_entries"),
+                max_bytes=max_bytes if max_bytes is not None else ref.get("max_bytes"),
+            )
+        raise StoreError(f"unknown store backend {backend!r}")
+    raise StoreError(f"cannot open a store from {type(ref).__name__}")

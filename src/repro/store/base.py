@@ -1,0 +1,174 @@
+"""The artifact-store protocol: content-addressed artifact persistence.
+
+An :class:`ArtifactStore` maps *store keys* to JSON artifact dicts (the wire
+format of :mod:`repro.api.serialize`).  Keys are content addresses emitted by
+the planning layer (:mod:`repro.api.plan`): a namespace naming what the
+artifact is, plus a hex digest of everything that determines it —
+``pipeline_report/<spec_hash>`` for whole-pipeline results,
+``stage_optimize/<digest>`` for per-stage intermediates.  Because the key is
+derived from the content's inputs, a lookup is a proof: whatever the store
+returns under a key *is* the artifact the corresponding computation would
+produce.
+
+Two backends implement the protocol:
+
+* :class:`repro.store.memory.MemoryStore` — in-process, LRU/size-bounded;
+* :class:`repro.store.disk.DiskStore` — on-disk blobs with atomic writes,
+  integrity digests and mtime-LRU eviction, safe for concurrent writers
+  (the batch-executor workers and the job service share one directory).
+
+Reads are **schema-version-aware**: :meth:`ArtifactStore.load` decodes blobs
+through :func:`repro.api.load_artifact`, so an artifact written by an
+incompatible build (unknown ``kind`` / ``schema_version`` / fields) reads as
+a *miss* — the caller recomputes and overwrites — instead of crashing the
+pipeline.  Every store keeps hit/miss/put/eviction counters
+(:meth:`ArtifactStore.stats`), which the ``service`` bench area and the CI
+smoke jobs gate exactly.
+"""
+
+from __future__ import annotations
+
+import re
+from abc import ABC, abstractmethod
+from typing import Any, Dict, List, Mapping, Optional
+
+__all__ = ["ArtifactStore", "StoreError", "check_store_key"]
+
+#: ``<namespace>/<hex digest>`` — the only key shape stores accept.  The
+#: namespace names the artifact family (``pipeline_report``,
+#: ``stage_optimize``, ...); the digest is a content hash.  Keeping the
+#: grammar this tight makes the on-disk layout injection-safe (keys map to
+#: paths) and the CLI listing unambiguous.
+_KEY_PATTERN = re.compile(r"^[a-z][a-z0-9_]*/[0-9a-f]{8,64}$")
+
+
+class StoreError(ValueError):
+    """Raised for malformed store keys and unusable store configurations."""
+
+
+def check_store_key(key: str) -> str:
+    """Validate a store key (``namespace/hexdigest``) and return it."""
+    if not isinstance(key, str) or not _KEY_PATTERN.match(key):
+        raise StoreError(
+            f"invalid store key {key!r}; expected '<namespace>/<hex digest>' "
+            "(lowercase namespace, 8-64 hex digest chars)"
+        )
+    return key
+
+
+class ArtifactStore(ABC):
+    """Key → artifact-dict persistence with hit/miss/eviction accounting.
+
+    Subclasses implement the raw ``_read``/``_write``/``_delete`` primitives;
+    the base class owns key validation, the counters and the
+    schema-version-aware :meth:`load` path every executor-side consumer uses.
+    """
+
+    def __init__(self) -> None:
+        self._stats: Dict[str, int] = {
+            "hits": 0,
+            "misses": 0,
+            "puts": 0,
+            "evictions": 0,
+            "corrupt": 0,
+            "schema_rejected": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Backend primitives
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def _read(self, key: str) -> Optional[Dict[str, Any]]:
+        """Return the stored artifact dict, or ``None`` (no counters)."""
+
+    @abstractmethod
+    def _write(self, key: str, artifact: Mapping[str, Any]) -> None:
+        """Persist one artifact dict under ``key`` (overwrite allowed)."""
+
+    @abstractmethod
+    def _delete(self, key: str) -> bool:
+        """Remove ``key``; return whether it existed."""
+
+    @abstractmethod
+    def keys(self) -> List[str]:
+        """Every key currently stored (unspecified order)."""
+
+    @abstractmethod
+    def gc(
+        self, max_entries: Optional[int] = None, max_bytes: Optional[int] = None
+    ) -> int:
+        """Enforce the eviction bounds now; return the number evicted.
+
+        ``max_entries``/``max_bytes`` override the store's configured bounds
+        for this collection only (the ``store gc`` CLI path).
+        """
+
+    # ------------------------------------------------------------------ #
+    # The accounted public surface
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The raw artifact dict under ``key``, or ``None`` (counted)."""
+        data = self._read(check_store_key(key))
+        self._stats["hits" if data is not None else "misses"] += 1
+        return data
+
+    def load(self, key: str) -> Optional[Any]:
+        """The *typed* artifact under ``key``, or ``None`` (counted).
+
+        Decodes through :func:`repro.api.load_artifact`; a blob that fails
+        schema validation (unknown kind, unsupported ``schema_version``,
+        unknown fields) counts as a miss — the schema-version-aware read
+        contract that lets old stores survive wire-format bumps.
+        """
+        from ..api.artifacts import load_artifact
+        from ..api.serialize import SchemaError
+
+        data = self._read(check_store_key(key))
+        obj = None
+        if data is not None:
+            try:
+                obj = load_artifact(data)
+            except SchemaError:
+                self._stats["schema_rejected"] += 1
+        self._stats["hits" if obj is not None else "misses"] += 1
+        return obj
+
+    def put(self, key: str, artifact: Mapping[str, Any]) -> None:
+        """Persist ``artifact`` under ``key`` (idempotent overwrite, counted)."""
+        if not isinstance(artifact, Mapping):
+            raise TypeError(f"artifact dict expected, got {type(artifact).__name__}")
+        self._write(check_store_key(key), artifact)
+        self._stats["puts"] += 1
+
+    def contains(self, key: str) -> bool:
+        """Whether ``key`` is stored (no hit/miss accounting)."""
+        return self._read(check_store_key(key)) is not None
+
+    def __contains__(self, key: str) -> bool:
+        return self.contains(key)
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key``; return whether it existed."""
+        return self._delete(check_store_key(key))
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/put/eviction counters of this store handle."""
+        return dict(self._stats)
+
+    def info(self) -> Dict[str, Any]:
+        """Stats plus size facts (entry count; bytes where meaningful)."""
+        data: Dict[str, Any] = dict(self._stats)
+        data["entries"] = len(self.keys())
+        return data
+
+    def worker_ref(self) -> Optional[Dict[str, Any]]:
+        """A JSON-safe ref a pool worker can reopen this store from.
+
+        ``None`` means the store cannot be shared across processes (the
+        in-memory backend); the batch executor then refuses to combine it
+        with ``parallelism > 1`` instead of silently splitting the cache.
+        """
+        return None

@@ -1,0 +1,262 @@
+"""On-disk artifact store: atomic, integrity-checked, multi-process safe.
+
+Layout under the store root::
+
+    <root>/store.json                      # backend marker + creation stamp
+    <root>/objects/<ns>/<dd>/<digest>.json # one blob per artifact
+
+where ``<ns>`` is the key namespace, ``<digest>`` the content digest and
+``<dd>`` its first two hex chars (fan-out so no directory grows huge).
+Each blob file is a JSON envelope::
+
+    {"kind": "store_blob", "schema_version": 1,
+     "key": "<namespace>/<digest>",
+     "payload_sha256": sha256(canonical_json(artifact)),
+     "artifact": {...}}
+
+Writes go through a temp file in the destination directory followed by
+``os.replace`` — atomic on POSIX — so two processes racing to store the
+same hash both succeed and readers never observe a torn blob.  Reads verify
+the envelope, the embedded key and the payload digest; any mismatch
+(truncation, bit rot, hand edits) counts as *corrupt*, unlinks the blob and
+reports a miss, so the caller recomputes and rewrites.  Eviction is
+least-recently-used by file mtime (reads touch their blob).
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..api.serialize import SCHEMA_VERSION, canonical_json
+from .base import ArtifactStore, StoreError
+
+__all__ = ["DiskStore"]
+
+_MARKER_NAME = "store.json"
+_BLOB_KIND = "store_blob"
+
+
+def _payload_sha256(artifact: Mapping[str, Any]) -> str:
+    return hashlib.sha256(canonical_json(dict(artifact)).encode("utf-8")).hexdigest()
+
+
+class DiskStore(ArtifactStore):
+    """Content-addressed artifact store rooted at a directory.
+
+    Safe for concurrent writers (atomic rename) and for readers racing
+    eviction (missing files read as misses).  ``max_entries``/``max_bytes``
+    bound the object tree; bounds are enforced on every write and by
+    explicit :meth:`gc` (the ``store gc`` CLI).
+    """
+
+    def __init__(
+        self,
+        root: os.PathLike,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.root = Path(root)
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.objects = self.root / "objects"
+        self._init_root()
+
+    def _init_root(self) -> None:
+        marker = self.root / _MARKER_NAME
+        if self.root.exists() and not self.root.is_dir():
+            raise StoreError(f"store root {self.root} exists and is not a directory")
+        self.objects.mkdir(parents=True, exist_ok=True)
+        if not marker.exists():
+            self._atomic_write(
+                marker,
+                {
+                    "kind": "store_marker",
+                    "schema_version": SCHEMA_VERSION,
+                    "backend": "disk",
+                    "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+                },
+            )
+
+    # ------------------------------------------------------------------ #
+    # Paths and atomic IO
+    # ------------------------------------------------------------------ #
+    def _blob_path(self, key: str) -> Path:
+        namespace, digest = key.split("/", 1)
+        return self.objects / namespace / digest[:2] / f"{digest}.json"
+
+    @staticmethod
+    def _atomic_write(path: Path, data: Mapping[str, Any]) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{path.name}.", suffix=".tmp", dir=str(path.parent)
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(data, handle, sort_keys=True, separators=(",", ":"))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------ #
+    # ArtifactStore primitives
+    # ------------------------------------------------------------------ #
+    def _read(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self._blob_path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                envelope = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._quarantine(path)
+            return None
+        artifact = self._check_envelope(key, envelope)
+        if artifact is None:
+            self._quarantine(path)
+            return None
+        try:
+            os.utime(path)  # refresh LRU recency
+        except OSError:
+            pass  # evicted or cleaned concurrently; the read still stands
+        return artifact
+
+    def _check_envelope(self, key: str, envelope: Any) -> Optional[Dict[str, Any]]:
+        """The artifact payload if the blob envelope is intact, else ``None``."""
+        if not (
+            isinstance(envelope, dict)
+            and envelope.get("kind") == _BLOB_KIND
+            and envelope.get("schema_version") == SCHEMA_VERSION
+            and envelope.get("key") == key
+            and isinstance(envelope.get("artifact"), dict)
+        ):
+            return None
+        artifact = envelope["artifact"]
+        if envelope.get("payload_sha256") != _payload_sha256(artifact):
+            return None
+        return artifact
+
+    def _quarantine(self, path: Path) -> None:
+        """Drop a blob that failed integrity checks so it gets rewritten."""
+        self._stats["corrupt"] += 1
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    def _write(self, key: str, artifact: Mapping[str, Any]) -> None:
+        artifact = dict(artifact)
+        envelope = {
+            "kind": _BLOB_KIND,
+            "schema_version": SCHEMA_VERSION,
+            "key": key,
+            "payload_sha256": _payload_sha256(artifact),
+            "artifact": artifact,
+        }
+        self._atomic_write(self._blob_path(key), envelope)
+        self.gc()
+
+    def _delete(self, key: str) -> bool:
+        try:
+            os.unlink(self._blob_path(key))
+            return True
+        except FileNotFoundError:
+            return False
+
+    def keys(self) -> List[str]:
+        found = []
+        for namespace_dir in sorted(self.objects.iterdir() if self.objects.exists() else []):
+            if not namespace_dir.is_dir():
+                continue
+            for path in sorted(namespace_dir.glob("*/*.json")):
+                found.append(f"{namespace_dir.name}/{path.stem}")
+        return found
+
+    # ------------------------------------------------------------------ #
+    # Eviction
+    # ------------------------------------------------------------------ #
+    def _ls_blobs(self) -> List[Tuple[float, int, str, Path]]:
+        """(mtime, size, key, path) for every blob, oldest-used first."""
+        entries = []
+        for key in self.keys():
+            path = self._blob_path(key)
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, key, path))
+        entries.sort()
+        return entries
+
+    def gc(
+        self, max_entries: Optional[int] = None, max_bytes: Optional[int] = None
+    ) -> int:
+        max_entries = self.max_entries if max_entries is None else max_entries
+        max_bytes = self.max_bytes if max_bytes is None else max_bytes
+        if max_entries is None and max_bytes is None:
+            return 0
+        entries = self._ls_blobs()
+        total_bytes = sum(size for _, size, _, _ in entries)
+        evicted = 0
+        for _, size, _, path in entries:
+            over_entries = max_entries is not None and len(entries) - evicted > max_entries
+            over_bytes = max_bytes is not None and total_bytes > max_bytes
+            if not (over_entries or over_bytes):
+                break
+            try:
+                os.unlink(path)
+            except OSError as exc:
+                if exc.errno != errno.ENOENT:
+                    continue
+            total_bytes -= size
+            evicted += 1
+        self._stats["evictions"] += evicted
+        return evicted
+
+    # ------------------------------------------------------------------ #
+    # Introspection / cross-process handoff
+    # ------------------------------------------------------------------ #
+    def info(self) -> Dict[str, Any]:
+        entries = self._ls_blobs()
+        data: Dict[str, Any] = dict(self._stats)
+        data["entries"] = len(entries)
+        data["bytes"] = sum(size for _, size, _, _ in entries)
+        data["backend"] = "disk"
+        data["root"] = str(self.root)
+        return data
+
+    def worker_ref(self) -> Dict[str, Any]:
+        """A JSON-safe config a pool worker reopens this store from."""
+        return {
+            "backend": "disk",
+            "root": str(self.root),
+            "max_entries": self.max_entries,
+            "max_bytes": self.max_bytes,
+        }
+
+    @classmethod
+    def from_ref(cls, ref: Mapping[str, Any]) -> "DiskStore":
+        if ref.get("backend") != "disk":
+            raise StoreError(f"not a disk store ref: {ref!r}")
+        return cls(
+            ref["root"],
+            max_entries=ref.get("max_entries"),
+            max_bytes=ref.get("max_bytes"),
+        )

@@ -1,0 +1,98 @@
+"""In-memory artifact store: an LRU/size-bounded dict of canonical blobs.
+
+The default backend of the job service when no ``--store`` directory is
+given, and the store the unit tests exercise eviction policy against.
+Artifacts are kept as canonical JSON text (not live dicts), so reads hand
+back fresh copies — a caller mutating a returned artifact cannot corrupt
+the cache — and ``max_bytes`` accounting is exact.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..api.serialize import canonical_json
+from .base import ArtifactStore
+
+__all__ = ["MemoryStore"]
+
+
+class MemoryStore(ArtifactStore):
+    """Process-local content-addressed store with LRU eviction.
+
+    ``max_entries`` / ``max_bytes`` bound the cache (``None`` = unbounded);
+    bounds are enforced after every write, evicting least-recently-*used*
+    entries first (reads refresh recency).
+    """
+
+    def __init__(
+        self,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        #: key -> canonical JSON text, ordered oldest-used first.
+        self._blobs: "OrderedDict[str, str]" = OrderedDict()
+        self._bytes = 0
+
+    # ------------------------------------------------------------------ #
+    # ArtifactStore primitives
+    # ------------------------------------------------------------------ #
+    def _read(self, key: str) -> Optional[Dict[str, Any]]:
+        text = self._blobs.get(key)
+        if text is None:
+            return None
+        self._blobs.move_to_end(key)
+        return json.loads(text)
+
+    def _write(self, key: str, artifact: Mapping[str, Any]) -> None:
+        text = canonical_json(dict(artifact))
+        old = self._blobs.pop(key, None)
+        if old is not None:
+            self._bytes -= len(old)
+        self._blobs[key] = text
+        self._bytes += len(text)
+        self.gc()
+
+    def _delete(self, key: str) -> bool:
+        text = self._blobs.pop(key, None)
+        if text is None:
+            return False
+        self._bytes -= len(text)
+        return True
+
+    def keys(self) -> List[str]:
+        return list(self._blobs)
+
+    def gc(
+        self, max_entries: Optional[int] = None, max_bytes: Optional[int] = None
+    ) -> int:
+        max_entries = self.max_entries if max_entries is None else max_entries
+        max_bytes = self.max_bytes if max_bytes is None else max_bytes
+        evicted = 0
+        while self._blobs and (
+            (max_entries is not None and len(self._blobs) > max_entries)
+            or (max_bytes is not None and self._bytes > max_bytes)
+        ):
+            _, text = self._blobs.popitem(last=False)
+            self._bytes -= len(text)
+            evicted += 1
+        self._stats["evictions"] += evicted
+        return evicted
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def info(self) -> Dict[str, Any]:
+        data = super().info()
+        data["bytes"] = self._bytes
+        data["backend"] = "memory"
+        return data

@@ -250,3 +250,133 @@ class TestReportQuantities:
         )
         assert serial.conventional_length == parallel.conventional_length
         assert serial.optimization.history == parallel.optimization.history
+
+
+class TestKeyboardInterrupt:
+    """Regression (satellite): Ctrl-C mid-pool must cancel pending futures
+    and shut the pool down without waiting, not silently drain the batch."""
+
+    def _interrupt_batch(self, monkeypatch):
+        from repro.api import jobs as jobs_module
+
+        shutdown_calls = []
+
+        class FakeFuture:
+            def cancel(self):
+                return True
+
+        class FakePool:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def submit(self, fn, *args):
+                return FakeFuture()
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                shutdown_calls.append({"wait": wait, "cancel_futures": cancel_futures})
+
+        def interrupted_wait(pending, return_when=None):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(jobs_module, "ProcessPoolExecutor", FakePool)
+        monkeypatch.setattr(jobs_module, "wait", interrupted_wait)
+        specs = [
+            PipelineSpec(circuit=key, optimize=None, quantize=None, fault_sim=None)
+            for key in ("s1", "s2")
+        ]
+        with pytest.raises(KeyboardInterrupt):
+            list(iter_jobs(specs, parallelism=2))
+        return shutdown_calls
+
+    def test_interrupt_cancels_pending_and_propagates(self, monkeypatch):
+        calls = self._interrupt_batch(monkeypatch)
+        assert calls == [{"wait": False, "cancel_futures": True}]
+
+    def test_cli_run_reports_exit_130(self, monkeypatch, capsys):
+        from repro.api import cli as cli_module
+
+        def interrupted(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli_module, "_execute_batch", interrupted)
+        assert cli_module.main(["run", "s1"]) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_failed_job_still_shuts_pool_down(self, monkeypatch):
+        from repro.api import jobs as jobs_module
+
+        shutdown_calls = []
+        real_pool = jobs_module.ProcessPoolExecutor
+
+        class RecordingPool(real_pool):
+            def shutdown(self, wait=True, cancel_futures=False):
+                shutdown_calls.append({"wait": wait, "cancel_futures": cancel_futures})
+                super().shutdown(wait=wait, cancel_futures=cancel_futures)
+
+        monkeypatch.setattr(jobs_module, "ProcessPoolExecutor", RecordingPool)
+        good = PipelineSpec(circuit="s1", optimize=None, quantize=None, fault_sim=None)
+        bad = PipelineSpec(
+            circuit={"kind": "file", "path": "/nonexistent/void.bench"},
+            optimize=None,
+            quantize=None,
+            fault_sim=None,
+        )
+        with pytest.raises(RuntimeError, match="failed"):
+            list(iter_jobs([good, bad], parallelism=2))
+        assert shutdown_calls and shutdown_calls[0]["cancel_futures"]
+
+
+class TestJobsStore:
+    SPEC = dict(
+        circuit="s1",
+        optimize=OptimizeConfig(max_sweeps=2),
+        fault_sim=FaultSimConfig(n_patterns=128),
+    )
+
+    def test_parallel_batch_shares_disk_store(self, tmp_path):
+        from repro.store import DiskStore
+
+        store = DiskStore(tmp_path / "store")
+        specs = [PipelineSpec(seed=seed, **self.SPEC) for seed in (1, 2)]
+        cold = {
+            result.index: result
+            for result in iter_jobs(specs, parallelism=2, store=store)
+        }
+        assert not any(result.store_hit for result in cold.values())
+
+        warm = {
+            result.index: result
+            for result in iter_jobs(specs, parallelism=2, store=store)
+        }
+        assert all(result.store_hit for result in warm.values())
+        for index in cold:
+            assert (
+                warm[index].report.canonical_dict()
+                == cold[index].report.canonical_dict()
+            )
+
+    def test_serial_path_accepts_memory_store(self):
+        from repro.store import MemoryStore
+
+        store = MemoryStore()
+        spec = PipelineSpec(**self.SPEC)
+        (first,) = list(iter_jobs([spec], store=store))
+        (second,) = list(iter_jobs([spec], store=store))
+        assert not first.store_hit and second.store_hit
+        assert second.report.canonical_dict() == first.report.canonical_dict()
+
+    def test_memory_store_with_pool_is_an_error(self):
+        from repro.store import MemoryStore, StoreError
+
+        with pytest.raises(StoreError, match="cannot be shared"):
+            list(
+                iter_jobs(
+                    [PipelineSpec(**self.SPEC)], parallelism=2, store=MemoryStore()
+                )
+            )
+
+    def test_store_accepts_path_string(self, tmp_path):
+        spec = PipelineSpec(**self.SPEC)
+        run_jobs([spec], store=str(tmp_path / "store"))
+        (result,) = list(iter_jobs([spec], store=str(tmp_path / "store")))
+        assert result.store_hit

@@ -78,11 +78,32 @@ class TestRunCommand:
         report = PipelineReport.from_dict(read_json(artifact))
         assert report.key == "inline-job"
 
-    def test_invalid_spec_file_fails_loudly(self, tmp_path):
+    def test_invalid_spec_file_exits_2_with_path(self, tmp_path, capsys):
+        """Satellite: malformed/unknown-schema spec files exit 2 with a
+        path-prefixed SchemaError message instead of a traceback."""
         bad = tmp_path / "bad.json"
         bad.write_text(json.dumps({"kind": "pipeline_spec", "schema_version": 99}))
-        with pytest.raises(SystemExit, match="invalid spec file"):
+        with pytest.raises(SystemExit) as excinfo:
             main(["run", "--spec", str(bad)])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert err.startswith(f"error: {bad}:")
+        assert "schema_version" in err
+
+    def test_unreadable_spec_file_exits_2_with_path(self, tmp_path, capsys):
+        bad = tmp_path / "nonsense.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--spec", str(bad)])
+        assert excinfo.value.code == 2
+        assert f"error: {bad}:" in capsys.readouterr().err
+
+    def test_missing_spec_file_exits_2_with_path(self, tmp_path, capsys):
+        missing = tmp_path / "missing.json"
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--spec", str(missing)])
+        assert excinfo.value.code == 2
+        assert f"error: {missing}:" in capsys.readouterr().err
 
     def test_no_input_is_an_error(self, capsys):
         assert main(["run"]) == 2
@@ -205,3 +226,61 @@ class TestTablesCommand:
         kinds = {type(row).__name__ for row in rows}
         assert {"Table1Row", "Table3Row", "Table5Row", "AppendixListing"} <= kinds
         assert not any(type(row).__name__ == "Table2Row" for row in rows)
+
+
+class TestStoreCli:
+    def _run_stored(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        rc = main(
+            [
+                "run",
+                "s1",
+                "--patterns",
+                "64",
+                "--max-sweeps",
+                "1",
+                "--store",
+                str(root),
+            ]
+        )
+        assert rc == 0
+        return root, capsys.readouterr().out
+
+    def test_run_store_second_run_is_a_hit(self, tmp_path, capsys):
+        """Acceptance: `run --store` — the rerun is served from the store."""
+        root, cold_out = self._run_stored(tmp_path, capsys)
+        assert "(store hit)" not in cold_out
+
+        from repro.api.executor import executor_stats
+        from repro.lowered import compile_count
+
+        before = executor_stats()
+        lowerings = compile_count()
+        _, warm_out = self._run_stored(tmp_path, capsys)
+        assert "(store hit)" in warm_out
+        assert executor_stats()["executions"] == before["executions"]
+        assert executor_stats()["stage_runs"] == before["stage_runs"]
+        assert compile_count() == lowerings
+
+    def test_store_ls_get_gc(self, tmp_path, capsys):
+        root, _ = self._run_stored(tmp_path, capsys)
+
+        assert main(["store", "--store", str(root), "ls"]) == 0
+        captured = capsys.readouterr()
+        keys = captured.out.splitlines()
+        report_keys = [k for k in keys if k.startswith("pipeline_report/")]
+        assert len(report_keys) == 1
+        assert "artifacts" in captured.err
+
+        assert main(["store", "--store", str(root), "get", report_keys[0]]) == 0
+        artifact = json.loads(capsys.readouterr().out)
+        assert PipelineReport.from_dict(artifact).key == "s1"
+
+        missing = "pipeline_report/" + "00" * 32
+        assert main(["store", "--store", str(root), "get", missing]) == 1
+        assert "no artifact" in capsys.readouterr().err
+
+        assert main(["store", "--store", str(root), "gc", "--max-entries", "1"]) == 0
+        assert "evicted" in capsys.readouterr().out
+        assert main(["store", "--store", str(root), "ls"]) == 0
+        assert len(capsys.readouterr().out.splitlines()) == 1
