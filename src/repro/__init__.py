@@ -86,6 +86,7 @@ from .patterns import (
 from .api import (
     AnalysisConfig,
     FaultSimConfig,
+    MultiWeightConfig,
     OptimizeConfig,
     PipelineSpec,
     QuantizeConfig,
@@ -155,6 +156,7 @@ __all__ = [
     "QuantizeConfig",
     "FaultSimConfig",
     "SelfTestConfig",
+    "MultiWeightConfig",
     "PipelineSpec",
     "SchemaError",
     "derive_seed",

@@ -42,6 +42,7 @@ from .spec import (
     STAGE_NAMES,
     AnalysisConfig,
     FaultSimConfig,
+    MultiWeightConfig,
     OptimizeConfig,
     PipelineSpec,
     QuantizeConfig,
@@ -59,6 +60,7 @@ __all__ = [
     "QuantizeConfig",
     "FaultSimConfig",
     "SelfTestConfig",
+    "MultiWeightConfig",
     "PipelineSpec",
     "derive_seed",
     "execute_spec",

@@ -35,6 +35,7 @@ __all__ = [
 def _row_types() -> Dict[str, type]:
     from ..experiments.appendix import AppendixListing
     from ..experiments.figure2 import Figure2Data
+    from ..experiments.multi_weight import MultiWeightRow
     from ..experiments.table1 import Table1Row
     from ..experiments.table2 import Table2Row
     from ..experiments.table3 import Table3Row
@@ -50,6 +51,7 @@ def _row_types() -> Dict[str, type]:
         "table5_speedup_row": Table5SpeedupRow,
         "figure2_data": Figure2Data,
         "appendix_listing": AppendixListing,
+        "multi_weight_row": MultiWeightRow,
     }
 
 
@@ -130,11 +132,29 @@ def load_artifact(data: Mapping[str, Any]) -> Any:
 
         return SelfTestReport.from_dict(data)
     if kind in (
+        "weight_set_entry",
+        "multi_weight_set",
+        "multi_set_self_test_report",
+        "multi_set_coverage",
+        "multi_weight_report",
+    ):
+        from .. import wrp
+
+        wrp_types = {
+            "weight_set_entry": wrp.WeightSetEntry,
+            "multi_weight_set": wrp.MultiWeightSet,
+            "multi_set_self_test_report": wrp.MultiSetSelfTestReport,
+            "multi_set_coverage": wrp.MultiSetCoverage,
+            "multi_weight_report": wrp.MultiWeightReport,
+        }
+        return wrp_types[kind].from_dict(data)
+    if kind in (
         "analysis_config",
         "optimize_config",
         "quantize_config",
         "fault_sim_config",
         "self_test_config",
+        "multi_weight_config",
     ):
         from . import spec as spec_module
 
@@ -144,6 +164,7 @@ def load_artifact(data: Mapping[str, Any]) -> Any:
             "quantize_config": spec_module.QuantizeConfig,
             "fault_sim_config": spec_module.FaultSimConfig,
             "self_test_config": spec_module.SelfTestConfig,
+            "multi_weight_config": spec_module.MultiWeightConfig,
         }
         return config_types[kind].from_dict(data)
     if kind == "bench_result":

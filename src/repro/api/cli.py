@@ -71,6 +71,7 @@ from .jobs import iter_jobs
 from .spec import (
     AnalysisConfig,
     FaultSimConfig,
+    MultiWeightConfig,
     OptimizeConfig,
     PipelineSpec,
     QuantizeConfig,
@@ -107,17 +108,39 @@ def _load_spec_file(path: str) -> PipelineSpec:
 
 
 def _stage_configs(args: argparse.Namespace) -> Dict[str, Any]:
-    """Translate the shared CLI flags into stage configs."""
+    """Translate the shared CLI flags into stage configs.
+
+    Every subcommand funnels through here, so ``--backend``,
+    ``--allow-backend-fallback`` and ``--partition-size`` reach each
+    fault-simulating leg the same way — including specs that declare no
+    fault-sim stage of their own (``selftest``), whose sessions pick the
+    knobs up from the analysis config.
+    """
     backend = getattr(args, "backend", None)
     allow_fallback = bool(getattr(args, "allow_backend_fallback", False))
+    partition_size = getattr(args, "partition_size", None)
     analysis = AnalysisConfig(
         confidence=args.confidence,
         drop_redundant=not getattr(args, "keep_redundant", False),
         backend=backend,
         allow_fallback=allow_fallback,
+        partition_size=partition_size,
     )
     if getattr(args, "analysis_only", False):
-        return {"analysis": analysis, "optimize": None, "quantize": None, "fault_sim": None}
+        return {
+            "analysis": analysis,
+            "optimize": None,
+            "quantize": None,
+            "fault_sim": None,
+            "multi_weight": None,
+        }
+    multi_weight = None
+    if getattr(args, "multi_weight", None) is not None:
+        multi_weight = MultiWeightConfig(
+            k=args.multi_weight,
+            scan_chains=getattr(args, "scan_chains", None),
+            target_coverage=getattr(args, "target_coverage", None),
+        )
     return {
         "analysis": analysis,
         "optimize": OptimizeConfig(max_sweeps=args.max_sweeps),
@@ -126,8 +149,9 @@ def _stage_configs(args: argparse.Namespace) -> Dict[str, Any]:
             n_patterns=args.patterns,
             backend=backend,
             allow_fallback=allow_fallback,
-            partition_size=getattr(args, "partition_size", None),
+            partition_size=partition_size,
         ),
+        "multi_weight": multi_weight,
     }
 
 
@@ -190,16 +214,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_selftest(args: argparse.Namespace) -> int:
     weighted = not args.unweighted
+    stages = _stage_configs(args)
+    if stages["multi_weight"] is not None and not weighted:
+        print(
+            "error: --multi-weight requires a weighted session "
+            "(drop --unweighted)",
+            file=sys.stderr,
+        )
+        return 2
     spec = PipelineSpec(
         circuit=args.circuit,
         seed=args.seed,
-        analysis=AnalysisConfig(
-            confidence=args.confidence,
-            backend=args.backend,
-            allow_fallback=args.allow_backend_fallback,
-        ),
-        optimize=OptimizeConfig(max_sweeps=args.max_sweeps) if weighted else None,
-        quantize=QuantizeConfig() if weighted else None,
+        analysis=stages["analysis"],
+        optimize=stages["optimize"] if weighted else None,
+        quantize=stages["quantize"] if weighted else None,
         fault_sim=None,
         self_test=SelfTestConfig(
             n_patterns=args.patterns,
@@ -207,6 +235,7 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
             weighted=weighted,
             inject_hardest=args.inject_hardest,
         ),
+        multi_weight=stages["multi_weight"],
     )
     reports = _execute_batch([spec], parallelism=1, store=args.store)
     report = reports[0]
@@ -216,6 +245,8 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
     if report.self_test_fault is not None:
         outcome = "DETECTED" if not self_test.passed else "MISSED"
         print(f"injected fault   : [{report.self_test_fault.to_list()}] {outcome}")
+    if report.multi_weight is not None:
+        print(f"multi-weight     : {report.multi_weight.summary()}")
     _write_artifact(args.json, report.to_dict())
     return 0 if (self_test.passed == (report.self_test_fault is None)) else 1
 
@@ -386,6 +417,31 @@ def _add_common(parser: argparse.ArgumentParser, patterns_default=None) -> None:
         metavar="N",
         help="PPSFP fault partition size for the fault simulator "
         "(default: one partition; detection results are invariant)",
+    )
+    parser.add_argument(
+        "--multi-weight",
+        type=int,
+        default=None,
+        metavar="K",
+        help="append the multi-weight-set BIST stage: cluster the fault list "
+        "into K groups, optimize one weight set per cluster and play them "
+        "through reseeded LFSRs (requires the optimize/quantize stages)",
+    )
+    parser.add_argument(
+        "--scan-chains",
+        type=int,
+        default=None,
+        metavar="N",
+        help="deliver multi-weight patterns through N STUMPS-style scan "
+        "chains instead of parallel per-input LFSR taps",
+    )
+    parser.add_argument(
+        "--target-coverage",
+        type=float,
+        default=None,
+        metavar="F",
+        help="stop each multi-weight session early once fault coverage "
+        "reaches this fraction",
     )
     parser.add_argument("--json", metavar="PATH", help="write the JSON artifact here")
     parser.add_argument(

@@ -234,6 +234,46 @@ def execute_spec(
         )
         _stage_done(on_stage, "self_test")
 
+    # Stage 6 (optional): multi-weight-set BIST (clustered weight sets,
+    # reseeded multi-polynomial LFSRs, scheduled playback).
+    multi_weight_report = None
+    if spec.multi_weight is not None:
+        from ..wrp import MultiWeightReport, MultiWeightSet
+
+        config = spec.multi_weight
+        stage = plan.stage("multi_weight")
+        if store is not None:
+            cached = store.load(stage.store_keys["result"])
+            if isinstance(cached, MultiWeightReport):
+                multi_weight_report = cached
+                _STATS["stage_hits"] += 1
+        if multi_weight_report is None:
+            weight_sets = None
+            if store is not None:
+                cached = store.load(stage.store_keys["weight_sets"])
+                if isinstance(cached, MultiWeightSet):
+                    weight_sets = cached
+                    _STATS["stage_hits"] += 1
+            if weight_sets is None:
+                weight_sets = session.build_weight_sets(
+                    key,
+                    k=config.k,
+                    budget=config.budget,
+                    cluster_seed=spec.stage_seed("cluster"),
+                    session_seed=stage.seed,
+                )
+                if store is not None:
+                    store.put(stage.store_keys["weight_sets"], weight_sets.to_dict())
+            multi_weight_report = session.multi_weight_self_test(
+                key,
+                weight_sets=weight_sets,
+                scan_chains=config.scan_chains,
+                target_coverage=config.target_coverage,
+            )
+            if store is not None:
+                store.put(stage.store_keys["result"], multi_weight_report.to_dict())
+            _stage_done(on_stage, "multi_weight")
+
     report = PipelineReport(
         key=key,
         circuit_name=circuit.name,
@@ -262,6 +302,7 @@ def execute_spec(
         optimized_experiment=optimized_experiment,
         self_test=self_test_report,
         self_test_fault=fault if spec.self_test is not None else None,
+        multi_weight=multi_weight_report,
         lowerings=session.lowerings(key),
         seconds=time.perf_counter() - start,
     )

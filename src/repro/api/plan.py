@@ -50,6 +50,7 @@ from .spec import STAGE_NAMES, PipelineSpec
 
 __all__ = [
     "DEFAULT_N_PATTERNS",
+    "PLAN_STAGE_NAMES",
     "ExecutionPlan",
     "StagePlan",
     "build_plan",
@@ -60,6 +61,10 @@ __all__ = [
 #: Fallback fault-simulation pattern budget when neither the spec nor the
 #: benchmark registry names one (file, generator and inline sources).
 DEFAULT_N_PATTERNS = 4_000
+
+#: Stage names a plan may carry: the paper's five stages plus the optional
+#: multi-weight-set extension stage.
+PLAN_STAGE_NAMES = STAGE_NAMES + ("multi_weight",)
 
 
 def resolve_n_patterns(spec: PipelineSpec) -> int:
@@ -143,8 +148,10 @@ class ExecutionPlan:
         for stage in self.stages:
             if stage.name == name:
                 return stage
-        if name not in STAGE_NAMES:
-            raise ValueError(f"unknown stage {name!r}; expected one of {STAGE_NAMES}")
+        if name not in PLAN_STAGE_NAMES:
+            raise ValueError(
+                f"unknown stage {name!r}; expected one of {PLAN_STAGE_NAMES}"
+            )
         return None
 
     def store_keys(self) -> Dict[str, str]:
@@ -229,6 +236,36 @@ def build_plan(spec: PipelineSpec) -> ExecutionPlan:
                 name="self_test",
                 config=spec.self_test.to_dict(),
                 seed=spec.stage_seed("self_test"),
+            )
+        )
+
+    if spec.multi_weight is not None:
+        # The weight-set artifact depends on everything that shapes the
+        # clusters and the per-cluster optima: the circuit, the analysis
+        # config (estimator/confidence), the weight provenance (optimize +
+        # quantize configs), the multi-weight config and the two derived
+        # seeds (clustering, per-set LFSR reseeds).  The report additionally
+        # reflects the session's coverage run, whose knobs all live in the
+        # same config — so both keys share one dependency dict.
+        session_seed = spec.stage_seed("multi_weight")
+        multi_deps = {
+            "stage": "multi_weight",
+            "circuit": circuit_ref,
+            "analysis": spec.analysis.to_dict(),
+            "weights": optimize_deps,
+            "multi_weight": spec.multi_weight.to_dict(),
+            "cluster_seed": spec.stage_seed("cluster"),
+            "session_seed": session_seed,
+        }
+        stages.append(
+            StagePlan(
+                name="multi_weight",
+                config=spec.multi_weight.to_dict(),
+                seed=session_seed,
+                store_keys={
+                    "weight_sets": _stage_key("stage_multi_weight", multi_deps),
+                    "result": _stage_key("stage_multi_weight_report", multi_deps),
+                },
             )
         )
 

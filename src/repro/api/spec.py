@@ -52,20 +52,24 @@ __all__ = [
     "QuantizeConfig",
     "FaultSimConfig",
     "SelfTestConfig",
+    "MultiWeightConfig",
     "PipelineSpec",
     "derive_seed",
     "STAGE_NAMES",
     "SEED_NAMESPACES",
 ]
 
-#: Names of the pipeline stages, in execution order.
+#: Names of the paper's pipeline stages, in execution order.  The optional
+#: multi-weight-set stage (:class:`MultiWeightConfig`) is an extension stage
+#: appended after these when a spec declares it.
 STAGE_NAMES = ("analysis", "optimize", "quantize", "fault_sim", "self_test")
 
 #: Namespace of :func:`derive_seed`'s ``stage`` argument: the pipeline stages
-#: plus non-stage consumers (the synthetic netlist generator).  APPEND ONLY —
-#: the index feeds the spawn key, so reordering or inserting entries would
-#: silently change every previously derived seed.
-SEED_NAMESPACES = STAGE_NAMES + ("generate",)
+#: plus non-stage consumers (the synthetic netlist generator) and the
+#: multi-weight-set stage's two seed consumers (fault clustering, per-set
+#: LFSR reseeds).  APPEND ONLY — the index feeds the spawn key, so reordering
+#: or inserting entries would silently change every previously derived seed.
+SEED_NAMESPACES = STAGE_NAMES + ("generate", "cluster", "multi_weight")
 
 #: Detection-probability estimators a spec may name (resolved by the
 #: executor; estimator *objects* remain a Session-level runtime override).
@@ -195,6 +199,11 @@ class AnalysisConfig(_ConfigBase):
             bit-identical, so analysis results never depend on this.
         allow_fallback: fall back to the numpy backend when the requested
             backend is unavailable instead of failing the job.
+        partition_size: PPSFP fault partition size for fault-simulating legs
+            of specs that declare no fault-sim stage of their own (e.g. the
+            multi-weight coverage run of a ``selftest`` job).  ``None`` (one
+            partition) is omitted from the wire dict, so existing spec
+            hashes are unchanged.  Detection results are invariant.
     """
 
     _kind = "analysis_config"
@@ -204,9 +213,18 @@ class AnalysisConfig(_ConfigBase):
     estimator: str = "batched"
     backend: Optional[str] = None
     allow_fallback: bool = False
+    partition_size: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = super().to_dict()
+        if self.partition_size is None:
+            payload.pop("partition_size", None)
+        return payload
 
     def __post_init__(self) -> None:
         _check_fraction("confidence", self.confidence)
+        if self.partition_size is not None:
+            _check_positive_int("partition_size", self.partition_size)
         if self.estimator not in ESTIMATOR_NAMES:
             raise ValueError(
                 f"unknown estimator {self.estimator!r}; expected one of {ESTIMATOR_NAMES}"
@@ -348,6 +366,46 @@ class SelfTestConfig(_ConfigBase):
             _check_positive_int("misr_width", self.misr_width)
 
 
+@dataclass(frozen=True)
+class MultiWeightConfig(_ConfigBase):
+    """Optional stage 6 — multi-weight-set BIST (:mod:`repro.wrp`).
+
+    Clusters the fault list by detection-profile similarity around the
+    single-set optimum, optimizes one weight set per cluster, and runs a
+    :class:`~repro.wrp.MultiSetSelfTestSession` that plays the sets in
+    sequence through reseeded multi-polynomial LFSRs.  Requires the quantize
+    stage (the sets specialize the quantized single-set optimum).
+
+    Attributes:
+        k: requested number of weight sets (fault clusters); ``1`` degenerates
+            bit-identically to the single-set self test.
+        budget: optional total pattern budget apportioned across the sets
+            (:func:`repro.wrp.allocate_budget`); ``None`` budgets each set
+            its jointly normalized share.
+        scan_chains: if set, deliver patterns STUMPS-style through this many
+            parallel scan chains (:class:`repro.wrp.StumpsPatternGenerator`)
+            instead of a direct parallel load — the >64-input architecture.
+        target_coverage: optional fault-coverage fraction at which the
+            session's coverage run stops early.
+    """
+
+    _kind = "multi_weight_config"
+
+    k: int = 4
+    budget: Optional[int] = None
+    scan_chains: Optional[int] = None
+    target_coverage: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _check_positive_int("k", self.k)
+        if self.budget is not None:
+            _check_positive_int("budget", self.budget)
+        if self.scan_chains is not None:
+            _check_positive_int("scan_chains", self.scan_chains)
+        if self.target_coverage is not None:
+            _check_fraction("target_coverage", self.target_coverage, open_interval=False)
+
+
 # --------------------------------------------------------------------------- #
 # The pipeline spec
 # --------------------------------------------------------------------------- #
@@ -357,6 +415,7 @@ _SPEC_STAGE_TYPES = {
     "quantize": QuantizeConfig,
     "fault_sim": FaultSimConfig,
     "self_test": SelfTestConfig,
+    "multi_weight": MultiWeightConfig,
 }
 
 
@@ -381,6 +440,9 @@ class PipelineSpec:
         analysis: always-on analysis stage config.
         optimize / quantize / fault_sim / self_test: optional stage configs;
             ``None`` skips the stage (and everything that needs it).
+        multi_weight: optional multi-weight-set BIST stage
+            (:class:`MultiWeightConfig`); serialized only when present so
+            existing spec hashes are unaffected.
     """
 
     circuit: Union[str, Mapping]
@@ -391,6 +453,7 @@ class PipelineSpec:
     quantize: Optional[QuantizeConfig] = QuantizeConfig()
     fault_sim: Optional[FaultSimConfig] = FaultSimConfig()
     self_test: Optional[SelfTestConfig] = None
+    multi_weight: Optional[MultiWeightConfig] = None
 
     def __post_init__(self) -> None:
         from ..circuits.sources import normalize_circuit_ref
@@ -409,6 +472,8 @@ class PipelineSpec:
             raise ValueError("the quantize stage requires the optimize stage")
         if self.self_test is not None and self.self_test.weighted and self.quantize is None:
             raise ValueError("a weighted self test requires the quantize stage")
+        if self.multi_weight is not None and self.quantize is None:
+            raise ValueError("the multi_weight stage requires the quantize stage")
 
     def __hash__(self) -> int:
         # The generated frozen-dataclass hash would crash on an inline
@@ -476,19 +541,21 @@ class PipelineSpec:
             circuit = self.circuit
         else:
             circuit = dict(self.circuit)
-        return tagged_dict(
-            "pipeline_spec",
-            {
-                "circuit": circuit,
-                "key": self.key,
-                "seed": self.seed,
-                "analysis": self.analysis.to_dict(),
-                "optimize": None if self.optimize is None else self.optimize.to_dict(),
-                "quantize": None if self.quantize is None else self.quantize.to_dict(),
-                "fault_sim": None if self.fault_sim is None else self.fault_sim.to_dict(),
-                "self_test": None if self.self_test is None else self.self_test.to_dict(),
-            },
-        )
+        payload: Dict[str, Any] = {
+            "circuit": circuit,
+            "key": self.key,
+            "seed": self.seed,
+            "analysis": self.analysis.to_dict(),
+            "optimize": None if self.optimize is None else self.optimize.to_dict(),
+            "quantize": None if self.quantize is None else self.quantize.to_dict(),
+            "fault_sim": None if self.fault_sim is None else self.fault_sim.to_dict(),
+            "self_test": None if self.self_test is None else self.self_test.to_dict(),
+        }
+        if self.multi_weight is not None:
+            # Written only when declared: a spec without the extension stage
+            # keeps its historical wire form (and spec hash) byte-identical.
+            payload["multi_weight"] = self.multi_weight.to_dict()
+        return tagged_dict("pipeline_spec", payload)
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "PipelineSpec":
@@ -497,7 +564,15 @@ class PipelineSpec:
             data,
             "pipeline_spec",
             required=("circuit", "seed"),
-            optional=("key", "analysis", "optimize", "quantize", "fault_sim", "self_test"),
+            optional=(
+                "key",
+                "analysis",
+                "optimize",
+                "quantize",
+                "fault_sim",
+                "self_test",
+                "multi_weight",
+            ),
         )
         kwargs: Dict[str, Any] = {
             "circuit": payload["circuit"],

@@ -1,11 +1,22 @@
 """Benchmark-area implementations; importing this package registers them all."""
 
-from . import ablations, bist, experiments, service, session, substrate, synth, table5
+from . import (
+    ablations,
+    bist,
+    experiments,
+    mws,
+    service,
+    session,
+    substrate,
+    synth,
+    table5,
+)
 
 __all__ = [
     "ablations",
     "bist",
     "experiments",
+    "mws",
     "service",
     "session",
     "substrate",

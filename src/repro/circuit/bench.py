@@ -37,28 +37,41 @@ _GATE_RE = re.compile(
     r"^\s*([^=\s]+)\s*=\s*([A-Za-z0-9_]+)\s*\(\s*(.*?)\s*\)\s*$"
 )
 
-#: Sequential-element tokens of the ISCAS'89 / s-series dialect.  The library
-#: models combinational networks only, so these get a dedicated diagnostic
-#: instead of the generic "unknown gate type token" error.
-_SEQUENTIAL_TOKENS = frozenset(
-    {"DFF", "DFFSR", "DFFRSE", "SDFF", "LATCH", "DLATCH", "FF", "FLOP"}
-)
+#: Single-input D-type flip-flop tokens of the ISCAS'89 / s-series dialect.
+#: These are accepted and converted full-scan style: the flip-flop output
+#: becomes a pseudo-primary input, its D net a pseudo-primary output.
+_DFF_TOKENS = frozenset({"DFF", "FF", "FLOP"})
+
+#: Sequential-element tokens the library cannot model even under full-scan
+#: conversion (level-sensitive latches, multi-pin set/reset and scan cells).
+#: These get a dedicated diagnostic instead of the generic "unknown gate
+#: type token" error.
+_SEQUENTIAL_TOKENS = frozenset({"DFFSR", "DFFRSE", "SDFF", "LATCH", "DLATCH"})
 
 
 def parse_bench(text: str, name: str = "bench_circuit") -> Circuit:
     """Parse ``.bench`` netlist text into a :class:`Circuit`.
+
+    Single-input D-type flip-flops (``Q = DFF(D)``, the ISCAS'89 s-series
+    dialect) are converted full-scan style: each flip-flop output ``Q``
+    becomes a pseudo-primary input and its ``D`` net a pseudo-primary
+    output, appended after the declared primaries in file order.  This is
+    the standard combinational view of a full-scan sequential circuit —
+    every scan cell is directly controllable and observable.  Latches and
+    multi-pin sequential cells remain unsupported.
 
     Args:
         text: the netlist source.
         name: name given to the resulting circuit.
 
     Raises:
-        BenchParseError: on syntax errors, unknown gate types, undriven nets or
-            combinational cycles.
+        BenchParseError: on syntax errors, unknown gate types, unsupported
+            sequential elements, undriven nets or combinational cycles.
     """
     input_names: List[str] = []
     output_names: List[str] = []
     gate_specs: List[Tuple[str, GateType, List[str]]] = []
+    flop_specs: List[Tuple[str, str]] = []  # (Q net, D net) per flip-flop
 
     for lineno, raw_line in enumerate(text.splitlines(), start=1):
         line = raw_line.split("#", 1)[0].strip()
@@ -75,23 +88,56 @@ def parse_bench(text: str, name: str = "bench_circuit") -> Circuit:
         match = _GATE_RE.match(line)
         if match:
             target, type_token, args = match.groups()
+            token = type_token.strip().upper()
+            operands = [tok.strip() for tok in args.split(",") if tok.strip()]
+            if token in _DFF_TOKENS:
+                if len(operands) != 1:
+                    raise BenchParseError(
+                        f"line {lineno}: {type_token} takes exactly one D "
+                        f"operand, got {len(operands)}"
+                    )
+                flop_specs.append((target, operands[0]))
+                continue
             try:
                 gate_type = parse_gate_type(type_token)
             except ValueError as exc:
-                if type_token.strip().upper() in _SEQUENTIAL_TOKENS:
+                if token in _SEQUENTIAL_TOKENS:
                     raise BenchParseError(
                         f"line {lineno}: sequential element {type_token!r} is not "
                         "supported — this library models combinational networks "
-                        "only (ISCAS'89 s-series circuits must have their "
-                        "flip-flops replaced by pseudo-primary inputs/outputs "
-                        "first); supported gate types: "
+                        "only, and only single-input D flip-flops can be "
+                        "full-scan converted to pseudo-primary inputs/outputs; "
+                        "supported gate types: "
                         f"{', '.join(gate_type_names())}"
                     ) from exc
                 raise BenchParseError(f"line {lineno}: {exc}") from exc
-            operands = [tok.strip() for tok in args.split(",") if tok.strip()]
             gate_specs.append((target, gate_type, operands))
             continue
         raise BenchParseError(f"line {lineno}: cannot parse {raw_line!r}")
+
+    # Full-scan conversion: flip-flop outputs join the primary inputs (the
+    # scan chain can set them), D nets join the primary outputs (the scan
+    # chain observes them).  Conflicting or duplicate drivers are rejected
+    # here with flip-flop-specific diagnostics; a D net that nothing drives
+    # falls through to the ordinary "never driven" OUTPUT check below.
+    declared_inputs = set(input_names)
+    gate_targets = {target for target, _, _ in gate_specs}
+    flop_outputs = set()
+    for q_net, d_net in flop_specs:
+        if q_net in declared_inputs:
+            raise BenchParseError(
+                f"flip-flop output {q_net!r} is also declared INPUT()"
+            )
+        if q_net in gate_targets:
+            raise BenchParseError(
+                f"flip-flop output {q_net!r} is also driven by a gate"
+            )
+        if q_net in flop_outputs:
+            raise BenchParseError(f"net {q_net!r} is driven by two flip-flops")
+        flop_outputs.add(q_net)
+        input_names.append(q_net)
+        if d_net not in output_names:
+            output_names.append(d_net)
 
     if not input_names:
         raise BenchParseError("netlist declares no INPUT() nets")

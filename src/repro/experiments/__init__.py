@@ -25,6 +25,11 @@ from .table5 import (
     run_table5_speedup,
 )
 from .figure2 import Figure2Data, format_figure2, run_figure2
+from .multi_weight import (
+    MultiWeightRow,
+    format_multi_weight,
+    run_multi_weight,
+)
 from .appendix import AppendixListing, format_appendix, run_appendix
 from .batch import (
     appendix_listings,
@@ -73,6 +78,9 @@ __all__ = [
     "Figure2Data",
     "run_figure2",
     "format_figure2",
+    "MultiWeightRow",
+    "run_multi_weight",
+    "format_multi_weight",
     "AppendixListing",
     "run_appendix",
     "format_appendix",

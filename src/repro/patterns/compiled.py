@@ -326,15 +326,22 @@ class CompiledLfsrWeightedPatternGenerator(LfsrWeightedPatternGenerator):
         lfsr_width: int = 32,
         seed: int | None = None,
         lanes: int = _DEFAULT_LANES,
+        lfsr_taps: Sequence[int] | None = None,
     ):
         # Consumed by _make_lfsr, which the base constructor calls.
         self._lanes_config = int(lanes)
         super().__init__(
-            weights, resolution=resolution, lfsr_width=lfsr_width, seed=seed
+            weights,
+            resolution=resolution,
+            lfsr_width=lfsr_width,
+            seed=seed,
+            lfsr_taps=lfsr_taps,
         )
 
-    def _make_lfsr(self, width: int, seed: int | None) -> CompiledLFSR:
-        return CompiledLFSR(width, seed=seed, lanes=self._lanes_config)
+    def _make_lfsr(
+        self, width: int, seed: int | None, taps: Sequence[int] | None = None
+    ) -> CompiledLFSR:
+        return CompiledLFSR(width, taps=taps, seed=seed, lanes=self._lanes_config)
 
     def _bit_stream(self, n_bits: int) -> np.ndarray:
         return self._lfsr.bit_block(n_bits)

@@ -132,17 +132,20 @@ class LfsrWeightedPatternGenerator:
         resolution: int = 5,
         lfsr_width: int = 32,
         seed: int | None = None,
+        lfsr_taps: Sequence[int] | None = None,
     ):
         if not 1 <= resolution <= 16:
             raise ValueError("resolution must be between 1 and 16 bits")
         self.weights = validate_weights(weights)
         self.resolution = resolution
         self.thresholds = lfsr_thresholds(self.weights, resolution)
-        self._lfsr = self._make_lfsr(lfsr_width, seed)
+        self._lfsr = self._make_lfsr(lfsr_width, seed, lfsr_taps)
 
-    def _make_lfsr(self, width: int, seed: int | None) -> LFSR:
+    def _make_lfsr(
+        self, width: int, seed: int | None, taps: Sequence[int] | None = None
+    ) -> LFSR:
         """The bit source; the compiled subclass swaps in the block LFSR."""
-        return LFSR(width, seed=seed)
+        return LFSR(width, taps=taps, seed=seed)
 
     def _bit_stream(self, n_bits: int) -> np.ndarray:
         """The next ``n_bits`` LFSR bits as a ``uint8`` array."""

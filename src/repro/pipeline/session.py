@@ -60,6 +60,7 @@ from ..api.serialize import tagged_dict, untag
 from ..api.spec import (
     AnalysisConfig,
     FaultSimConfig,
+    MultiWeightConfig,
     OptimizeConfig,
     PipelineSpec,
     QuantizeConfig,
@@ -75,6 +76,8 @@ from ..faults.model import Fault
 from ..faultsim.coverage import CoverageExperiment, random_pattern_coverage
 from ..lowered import LoweredCircuit, compile_count, compile_lowered
 from ..patterns.bilbo import SelfTestReport, SelfTestSession
+from ..wrp import MultiWeightReport, MultiWeightSet, run_multi_weight_session
+from ..wrp import build_weight_sets as _build_weight_sets
 
 __all__ = ["Session", "PipelineReport"]
 
@@ -120,6 +123,10 @@ class PipelineReport:
         self_test_fault: the fault injected into the self-test run (``None``
             for a clean run); with an injection, ``self_test.passed`` False
             means the signature exposed the fault.
+        multi_weight: report of the multi-weight-set BIST stage
+            (:class:`repro.wrp.MultiWeightReport`), when the spec declared
+            it; serialized only when present, so artifacts of specs without
+            the stage keep their historical wire form.
         lowerings: lowering compilations attributed to this circuit — 1 for a
             fresh circuit, 0 when the content-addressed cache already held
             the structure.
@@ -146,6 +153,7 @@ class PipelineReport:
     optimized_experiment: Optional[CoverageExperiment] = None
     self_test: Optional[SelfTestReport] = None
     self_test_fault: Optional[Fault] = None
+    multi_weight: Optional[MultiWeightReport] = None
     lowerings: int = 0
     seconds: float = 0.0
 
@@ -188,6 +196,12 @@ class PipelineReport:
             parts.append(
                 f"self-test signature 0x{self.self_test.signature:x} ({verdict})"
             )
+        if self.multi_weight is not None:
+            sets = self.multi_weight.weight_sets
+            parts.append(
+                f"multi-weight k={sets.k} length {sets.multi_set_length:,} "
+                f"vs single {sets.single_set_length:,}"
+            )
         parts.append(
             f"({self.lowerings} lowering{'s' if self.lowerings != 1 else ''})"
         )
@@ -200,7 +214,7 @@ class PipelineReport:
         """JSON-serializable artifact dict (exact round trip)."""
         from ..api.serialize import encode_optional_array
 
-        return tagged_dict(
+        payload = tagged_dict(
             "pipeline_report",
             {
                 "key": self.key,
@@ -228,6 +242,9 @@ class PipelineReport:
                 "seconds": float(self.seconds),
             },
         )
+        if self.multi_weight is not None:
+            payload["multi_weight"] = self.multi_weight.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "PipelineReport":
@@ -263,6 +280,7 @@ class PipelineReport:
                 "optimized_experiment",
                 "self_test",
                 "self_test_fault",
+                "multi_weight",
                 "lowerings",
                 "seconds",
             ),
@@ -305,6 +323,11 @@ class PipelineReport:
                 if payload["self_test_fault"] is None
                 else Fault.from_list(payload["self_test_fault"])
             ),
+            multi_weight=(
+                None
+                if payload["multi_weight"] is None
+                else MultiWeightReport.from_dict(payload["multi_weight"])
+            ),
             lowerings=int(payload["lowerings"] or 0),
             seconds=float(payload["seconds"] or 0.0),
         )
@@ -344,6 +367,7 @@ class _Entry:
     optimization: Optional[OptimizationResult] = None
     coverage_cache: Dict[Tuple, CoverageExperiment] = field(default_factory=dict)
     selftest_cache: Dict[Tuple, SelfTestSession] = field(default_factory=dict)
+    multi_weight_cache: Dict[Tuple, MultiWeightSet] = field(default_factory=dict)
 
 
 class Session:
@@ -440,7 +464,6 @@ class Session:
         """
         optimize = spec.optimize if spec.optimize is not None else OptimizeConfig()
         quantize = spec.quantize if spec.quantize is not None else QuantizeConfig()
-        fault_sim = spec.fault_sim if spec.fault_sim is not None else FaultSimConfig()
         estimator: DetectionProbabilityEstimator = (
             CopDetectionEstimator()
             if spec.analysis.estimator == "scalar"
@@ -449,6 +472,18 @@ class Session:
                 allow_fallback=spec.analysis.allow_fallback,
             )
         )
+        if spec.fault_sim is not None:
+            backend = spec.fault_sim.backend
+            allow_fallback = spec.fault_sim.allow_fallback
+            partition_size = spec.fault_sim.partition_size
+        else:
+            # No fault-sim stage declared: simulation legs run elsewhere
+            # (e.g. the multi-weight coverage run) still honor the
+            # analysis-stage backend choice instead of silently reverting to
+            # the process default.
+            backend = spec.analysis.backend
+            allow_fallback = spec.analysis.allow_fallback
+            partition_size = spec.analysis.partition_size
         return cls(
             confidence=spec.analysis.confidence,
             estimator=estimator,
@@ -458,9 +493,9 @@ class Session:
             seed=spec.seed,
             quantization_step=quantize.step,
             drop_redundant=spec.analysis.drop_redundant,
-            backend=fault_sim.backend,
-            allow_backend_fallback=fault_sim.allow_fallback,
-            partition_size=fault_sim.partition_size,
+            backend=backend,
+            allow_backend_fallback=allow_fallback,
+            partition_size=partition_size,
         )
 
     def _estimator_name(self, strict: bool = True) -> str:
@@ -507,6 +542,7 @@ class Session:
         n_patterns: Optional[int] = None,
         circuit_ref: Optional[str] = None,
         self_test: Optional[SelfTestConfig] = None,
+        multi_weight: Optional[MultiWeightConfig] = None,
         strict: bool = True,
     ) -> PipelineSpec:
         """The declarative :class:`PipelineSpec` equivalent of :meth:`run`.
@@ -522,6 +558,7 @@ class Session:
                 embedding the inline netlist dict (smaller spec, same
                 structure — the caller asserts the equivalence).
             self_test: optional BIST stage config to append.
+            multi_weight: optional multi-weight-set stage config to append.
             strict: raise for estimator objects a spec cannot name;
                 ``strict=False`` records ``"batched"`` instead (what
                 :meth:`run` uses — in-process execution applies the
@@ -545,6 +582,7 @@ class Session:
                 partition_size=self.partition_size,
             ),
             self_test=self_test,
+            multi_weight=multi_weight,
         )
 
     # ------------------------------------------------------------------ #
@@ -894,6 +932,98 @@ class Session:
         return session.run(fault)
 
     # ------------------------------------------------------------------ #
+    # Stage 6 (optional): multi-weight-set BIST
+    # ------------------------------------------------------------------ #
+    def build_weight_sets(
+        self,
+        key: str,
+        k: int = 4,
+        budget: Optional[int] = None,
+        cluster_seed: Optional[int] = None,
+        session_seed: Optional[int] = None,
+        force: bool = False,
+    ) -> MultiWeightSet:
+        """Cluster the fault list and optimize one weight set per cluster.
+
+        Delegates to :func:`repro.wrp.build_weight_sets` with the session's
+        estimator, optimizer parameters and the cached single-set optimum as
+        the baseline, so the expensive base optimization is never repeated.
+        ``cluster_seed``/``session_seed`` default to the derived
+        ``derive_seed(root, "cluster"/"multi_weight", key)`` stage seeds.
+        Results are cached per ``(k, budget, cluster_seed, session_seed)``.
+        """
+        entry = self._entry(key)
+        self.lowered(key)
+        if cluster_seed is None:
+            cluster_seed = self.stage_seed("cluster", key)
+        if session_seed is None:
+            session_seed = self.stage_seed("multi_weight", key)
+        cache_key = (int(k), budget, int(cluster_seed), int(session_seed))
+        cached = entry.multi_weight_cache.get(cache_key)
+        if cached is not None and not force:
+            return cached
+        weight_sets = _build_weight_sets(
+            entry.circuit,
+            faults=entry.faults,
+            k=k,
+            estimator=self.estimator,
+            confidence=self.confidence,
+            bounds=(float(self.bounds[0]), float(self.bounds[1])),
+            alpha=self.alpha,
+            max_sweeps=self.max_sweeps,
+            quantization_step=self.quantization_step,
+            cluster_seed=cluster_seed,
+            session_seed=session_seed,
+            budget=budget,
+            base_result=self.optimize(key),
+        )
+        entry.multi_weight_cache[cache_key] = weight_sets
+        return weight_sets
+
+    def multi_weight_self_test(
+        self,
+        key: str,
+        k: int = 4,
+        weight_sets: Optional[MultiWeightSet] = None,
+        budget: Optional[int] = None,
+        scan_chains: Optional[int] = None,
+        target_coverage: Optional[float] = None,
+        misr_width: Optional[int] = None,
+        misr_taps: Optional[Sequence[int]] = None,
+        cluster_seed: Optional[int] = None,
+        session_seed: Optional[int] = None,
+    ) -> MultiWeightReport:
+        """Run the multi-weight-set BIST stage for a registered circuit.
+
+        Builds (or reuses) the :class:`~repro.wrp.MultiWeightSet` schedule,
+        plays it through the compiled multi-set session and fault-simulates
+        the scheduled stream with the session's backend settings — the
+        in-process face of the spec's ``multi_weight`` stage.
+        """
+        entry = self._entry(key)
+        self.lowered(key)
+        if weight_sets is None:
+            weight_sets = self.build_weight_sets(
+                key,
+                k=k,
+                budget=budget,
+                cluster_seed=cluster_seed,
+                session_seed=session_seed,
+            )
+        return run_multi_weight_session(
+            entry.circuit,
+            weight_sets,
+            faults=entry.faults,
+            target_coverage=target_coverage,
+            scan_chains=scan_chains,
+            backend=self.backend,
+            allow_fallback=bool(self.allow_backend_fallback),
+            partition_size=self.partition_size,
+            misr_width=misr_width,
+            misr_taps=misr_taps,
+        )
+
+    # ------------------------------------------------------------------ #
     # The full pipeline
     # ------------------------------------------------------------------ #
     def run(
@@ -901,6 +1031,7 @@ class Session:
         key: Optional[str] = None,
         n_patterns: int = 4_000,
         self_test: Optional[SelfTestConfig] = None,
+        multi_weight: Optional[MultiWeightConfig] = None,
     ) -> Union[PipelineReport, List[PipelineReport]]:
         """Run analyze → optimize → quantize → fault-simulate [→ self-test].
 
@@ -913,13 +1044,19 @@ class Session:
                 over every registered circuit (returning a list of reports).
             n_patterns: pattern budget of the fault-simulated validation.
             self_test: optional BIST stage config to append to the run.
+            multi_weight: optional multi-weight-set stage config to append.
 
         The lowered IR is compiled at most once per circuit no matter how
         many stages or repeated runs consume it.
         """
         if key is None:
             return [
-                self.run(k, n_patterns=n_patterns, self_test=self_test)
+                self.run(
+                    k,
+                    n_patterns=n_patterns,
+                    self_test=self_test,
+                    multi_weight=multi_weight,
+                )
                 for k in self.keys()
             ]
         from ..api.executor import execute_spec
@@ -927,5 +1064,11 @@ class Session:
         # strict=False: a custom estimator object (a session-only runtime
         # override) cannot be named in the spec, but the in-process executor
         # path uses the session's estimator regardless.
-        spec = self.spec(key, n_patterns=n_patterns, self_test=self_test, strict=False)
+        spec = self.spec(
+            key,
+            n_patterns=n_patterns,
+            self_test=self_test,
+            multi_weight=multi_weight,
+            strict=False,
+        )
         return execute_spec(spec, session=self, store=self.store)

@@ -1,0 +1,115 @@
+"""STUMPS-style scan delivery: weighted patterns through parallel scan chains.
+
+The compiled LFSR substrate packs register states into 64-bit words, so the
+width-32/48/64 pattern-source registers cannot simply grow with the input
+count.  The standard hardware answer — and the ROADMAP's named answer for the
+>64-input case — is the STUMPS architecture: one PRPG feeds ``n_chains``
+parallel *scan chains*; every shift clock pushes one fresh bit into each
+chain, and after ``chain_length`` shifts the chains hold a complete test
+pattern across all (pseudo-)primary inputs, however many there are.
+
+:class:`StumpsPatternGenerator` models exactly that as a *decimated* LFSR
+stream.  The single maximal-length bit stream is consumed in scan-cycle
+major order: at shift cycle ``s`` every chain ``c`` takes the next
+``resolution`` stream bits through the weighting network of the scan cell it
+is currently filling — so chain ``c`` sees the substream decimated by the
+chain count, and the cell at scan depth ``s`` of chain ``c`` loads the input
+with flat index ``s * n_chains + c``.  Weighting is per *target input* (each
+cell compares its stream bits against the threshold of the input it feeds),
+which keeps the realized per-input probabilities identical to the
+single-register weighting network; chains shift every cycle, so trailing pad
+cells of the last scan row consume (and discard) stream bits exactly like
+real scan-chain stubs.
+
+Full-scan sequential circuits enter this model through the ``.bench``
+parser's flip-flop conversion (:mod:`repro.circuit.bench`): every DFF becomes
+a pseudo-primary input/output pair, and the scan chains deliver to the
+pseudo-inputs like to any other input.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..patterns.compiled import CompiledLFSR
+from ..patterns.weighted import (
+    lfsr_thresholds,
+    stream_pattern_chunks,
+    validate_weights,
+)
+
+__all__ = ["StumpsPatternGenerator"]
+
+
+class StumpsPatternGenerator:
+    """Weighted pattern generator with serial scan-chain delivery.
+
+    Bit source, weighting math and threshold grid are shared with
+    :class:`repro.patterns.weighted.LfsrWeightedPatternGenerator`; only the
+    *delivery order* differs — bits arrive scan-cycle by scan-cycle across
+    ``n_chains`` chains instead of input by input — so the architecture
+    supports any input count from a fixed-width register while staying fully
+    deterministic per (polynomial, seed).
+
+    Args:
+        weights: per-input probabilities of a logical 1.
+        n_chains: number of parallel scan chains (1 degenerates to a single
+            serial chain; capped at the input count).
+        resolution: weighting-network resolution in bits per cell load.
+        lfsr_width / lfsr_taps / seed: the PRPG register configuration,
+            identical semantics to the single-register generator.
+    """
+
+    def __init__(
+        self,
+        weights: Sequence[float],
+        n_chains: int = 4,
+        resolution: int = 5,
+        lfsr_width: int = 32,
+        lfsr_taps: Optional[Sequence[int]] = None,
+        seed: Optional[int] = None,
+    ):
+        if not 1 <= resolution <= 16:
+            raise ValueError("resolution must be between 1 and 16 bits")
+        if n_chains < 1:
+            raise ValueError(f"n_chains must be positive, got {n_chains!r}")
+        self.weights = validate_weights(weights)
+        self.resolution = resolution
+        self.thresholds = lfsr_thresholds(self.weights, resolution)
+        self.n_chains = min(int(n_chains), int(self.weights.size))
+        self.chain_length = -(-int(self.weights.size) // self.n_chains)
+        self._lfsr = CompiledLFSR(lfsr_width, taps=lfsr_taps, seed=seed)
+        # Cell (s, c) of the scan matrix loads input s * n_chains + c; the
+        # last scan row may run past the input count (pad cells).
+        self._n_cells = self.chain_length * self.n_chains
+
+    @property
+    def n_inputs(self) -> int:
+        return int(self.weights.size)
+
+    def reset(self) -> None:
+        """Restart the pattern stream from the PRPG seed."""
+        self._lfsr.reset()
+
+    def realized_weights(self) -> np.ndarray:
+        """The weights actually produced after threshold quantization."""
+        return self.thresholds / float(1 << self.resolution)
+
+    def generate(self, n_patterns: int) -> np.ndarray:
+        """Scan-load ``n_patterns`` patterns as a boolean matrix."""
+        if n_patterns < 0:
+            raise ValueError("n_patterns must be non-negative")
+        n_bits = n_patterns * self._n_cells * self.resolution
+        stream = self._lfsr.bit_block(n_bits)
+        # (pattern, scan cycle, chain, resolution bit) — time order of the
+        # stream; flattening (cycle, chain) yields the flat input index.
+        groups = stream.reshape(n_patterns, self._n_cells, self.resolution)
+        powers = 1 << np.arange(self.resolution - 1, -1, -1)
+        values = (groups * powers).sum(axis=2)
+        return values[:, : self.n_inputs] < self.thresholds[None, :]
+
+    def generate_stream(self, n_patterns: int, chunk: int = 4096):
+        """Yield pattern matrices of at most ``chunk`` rows until ``n_patterns``."""
+        return stream_pattern_chunks(self, n_patterns, chunk)

@@ -146,14 +146,31 @@ class TestBenchFixes:
         for a in (False, True):
             assert evaluate_named(rebuilt, {"a": a})["y"] is a
 
-    def test_sequential_dff_gets_clear_error(self):
+    def test_sequential_dff_is_full_scan_converted(self):
+        circuit = parse_bench(
+            "INPUT(a)\nOUTPUT(y)\nq = DFF(d)\nd = NAND(a, q)\ny = NOT(q)\n"
+        )
+        names = circuit.net_name
+        assert [names(n) for n in circuit.inputs] == ["a", "q"]
+        assert [names(n) for n in circuit.outputs] == ["y", "d"]
+        assert len(circuit.gates) == 2
+
+    def test_sequential_latch_gets_clear_error(self):
         with pytest.raises(BenchParseError) as excinfo:
-            parse_bench("INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n")
+            parse_bench("INPUT(a)\nOUTPUT(q)\nq = LATCH(a)\n")
         message = str(excinfo.value)
-        assert "sequential element 'DFF' is not supported" in message
+        assert "sequential element 'LATCH' is not supported" in message
         assert "combinational" in message
         for gate_name in ("AND", "NAND", "XOR", "CONST0"):
             assert gate_name in message
+
+    def test_dff_conflicting_drivers_rejected(self):
+        with pytest.raises(BenchParseError, match="also driven by a gate"):
+            parse_bench("INPUT(a)\nOUTPUT(q)\nq = NOT(a)\nq = DFF(a)\n")
+        with pytest.raises(BenchParseError, match="also declared INPUT"):
+            parse_bench("INPUT(a)\nOUTPUT(a)\na = DFF(a)\n")
+        with pytest.raises(BenchParseError, match="two flip-flops"):
+            parse_bench("INPUT(a)\nOUTPUT(q)\nq = DFF(a)\nq = DFF(a)\n")
 
     def test_unknown_token_error_unchanged(self):
         with pytest.raises(BenchParseError, match="unknown gate type token: 'FROB'"):
